@@ -1,0 +1,66 @@
+package rangereach
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Query is one RangeReach query for batch evaluation.
+type Query struct {
+	Vertex int
+	Region Rect
+}
+
+// RangeReachBatch answers a batch of queries, fanning them out over
+// parallelism goroutines (0 selects GOMAXPROCS). The result slice aligns
+// with the input. Every static index is safe for concurrent queries;
+// DynamicIndex is not (updates and queries must be externally
+// serialized).
+func (idx *Index) RangeReachBatch(queries []Query, parallelism int) []bool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([]bool, len(queries))
+	if parallelism <= 1 {
+		for i, q := range queries {
+			out[i] = idx.RangeReach(q.Vertex, q.Region)
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	take := func(chunk int) (lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		lo = int(next)
+		hi = lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		next = int64(hi)
+		return lo, hi
+	}
+	const chunk = 16
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi := take(chunk)
+				if lo >= hi {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					q := queries[i]
+					out[i] = idx.RangeReach(q.Vertex, q.Region)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,69 @@
+package rangereach_test
+
+import (
+	"math/rand"
+	"testing"
+
+	rangereach "repro"
+)
+
+func batchNetwork(t *testing.T) *rangereach.Network {
+	t.Helper()
+	return rangereach.GenerateSynthetic(rangereach.SyntheticConfig{
+		Name: "batch", Users: 500, Venues: 300, AvgFriends: 4, AvgCheckins: 2,
+		CoreFraction: 0.5, Seed: 77,
+	})
+}
+
+func randomQueries(net *rangereach.Network, n int, seed int64) []rangereach.Query {
+	rng := rand.New(rand.NewSource(seed))
+	space := net.Space()
+	qs := make([]rangereach.Query, n)
+	for i := range qs {
+		w := rng.Float64() * (space.MaxX - space.MinX) / 3
+		h := rng.Float64() * (space.MaxY - space.MinY) / 3
+		x := space.MinX + rng.Float64()*(space.MaxX-space.MinX-w)
+		y := space.MinY + rng.Float64()*(space.MaxY-space.MinY-h)
+		qs[i] = rangereach.Query{
+			Vertex: rng.Intn(net.NumVertices()),
+			Region: rangereach.NewRect(x, y, x+w, y+h),
+		}
+	}
+	return qs
+}
+
+// TestBatchMatchesSequential exercises every method concurrently; run
+// with -race to validate thread safety of the engines.
+func TestBatchMatchesSequential(t *testing.T) {
+	net := batchNetwork(t)
+	qs := randomQueries(net, 300, 5)
+	methods := append(append([]rangereach.Method(nil), rangereach.Methods...),
+		rangereach.ExtendedMethods...)
+	for _, m := range methods {
+		idx := net.MustBuild(m)
+		want := idx.RangeReachBatch(qs, 1)
+		got := idx.RangeReachBatch(qs, 8)
+		for i := range qs {
+			if got[i] != want[i] {
+				t.Fatalf("%v: parallel result %d differs", m, i)
+			}
+		}
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	net := batchNetwork(t)
+	idx := net.MustBuild(rangereach.ThreeDReach)
+	if out := idx.RangeReachBatch(nil, 4); len(out) != 0 {
+		t.Error("empty batch returned results")
+	}
+	one := randomQueries(net, 1, 9)
+	if out := idx.RangeReachBatch(one, 100); len(out) != 1 {
+		t.Error("single-query batch wrong")
+	}
+	// Default parallelism path.
+	many := randomQueries(net, 50, 11)
+	if out := idx.RangeReachBatch(many, 0); len(out) != 50 {
+		t.Error("default parallelism wrong")
+	}
+}

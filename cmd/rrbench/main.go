@@ -1,0 +1,105 @@
+// Command rrbench regenerates the paper's evaluation artifacts over the
+// calibrated synthetic datasets: Tables 3–6 and Figures 5–7, plus the
+// ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	rrbench [-exp all|table3|table4|table5|table6|fig5|fig6|fig7|ablation-forest|ablation-compression|ablation-socreach|ablation-spareach|ablation-3d|ablation-streaming|latency|negative]
+//	        [-scale 1.0] [-queries 200] [-seed 1] [-datasets foursquare-like,gowalla-like,...]
+//	        [-csv figures.csv]
+//
+// Absolute latencies depend on the host; the paper's findings are about
+// ordering and trend shapes, which EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: all, table3, table4, table5, table6, fig5, fig6, fig7, ablation-forest, ablation-compression, ablation-socreach, ablation-spareach, ablation-3d, ablation-streaming, latency, negative")
+		scale    = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 1% of the paper's sizes)")
+		queries  = flag.Int("queries", 200, "queries averaged per data point (paper: 1000)")
+		seed     = flag.Int64("seed", 1, "random seed for datasets and workloads")
+		datasets = flag.String("datasets", "", "comma-separated preset subset (default: all four)")
+		csvPath  = flag.String("csv", "", "also write figure series to this CSV file (tidy long format)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:   *scale,
+		Seed:    *seed,
+		Queries: *queries,
+		Out:     os.Stdout,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	fmt.Printf("rrbench: scale=%.2f queries=%d seed=%d\n", *scale, *queries, *seed)
+	s := bench.NewSuite(cfg)
+	if len(s.Datasets()) == 0 {
+		fmt.Fprintln(os.Stderr, "rrbench: no datasets selected (check -datasets names)")
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func()) {
+		if *exp == "all" || *exp == name {
+			fn()
+		}
+	}
+	known := map[string]bool{
+		"all": true, "table3": true, "table4": true, "table5": true,
+		"table6": true, "fig5": true, "fig6": true, "fig7": true,
+		"ablation-forest": true, "ablation-compression": true, "ablation-socreach": true, "ablation-spareach": true, "ablation-3d": true, "latency": true, "negative": true, "ablation-streaming": true,
+	}
+	if !known[*exp] {
+		fmt.Fprintf(os.Stderr, "rrbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	var figures = map[string][]bench.FigureResult{}
+	run("table3", func() { s.Table3() })
+	// Tables 4 and 5 come from the same builds.
+	if *exp == "all" || *exp == "table4" || *exp == "table5" {
+		s.Table4And5()
+	}
+	run("table6", func() { s.Table6() })
+	run("fig5", func() { figures["fig5"] = s.Figure5() })
+	run("fig6", func() { figures["fig6"] = s.Figure6() })
+	run("fig7", func() { figures["fig7"] = s.Figure7() })
+	run("ablation-forest", func() { s.AblationForest() })
+	run("ablation-compression", func() { s.AblationCompression() })
+	run("ablation-socreach", func() { s.AblationSocReach() })
+	run("ablation-spareach", func() { s.AblationSpaReach() })
+	run("ablation-3d", func() { s.Ablation3DBackend() })
+	run("ablation-streaming", func() { s.AblationStreaming() })
+	run("latency", func() { s.LatencyProfile() })
+	run("negative", func() { s.NegativeProfile() })
+	if *exp == "all" {
+		s.PositiveRates()
+	}
+	if *csvPath != "" && len(figures) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteFiguresCSV(f, figures); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "rrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rrbench: figure data written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,129 @@
+// Command rrgen generates synthetic geosocial networks in the library's
+// text format, either from the four presets calibrated to the paper's
+// datasets or from explicit parameters.
+//
+// Usage:
+//
+//	rrgen -preset foursquare-like -scale 1.0 -seed 1 -o foursquare.gsn
+//	rrgen -users 10000 -venues 5000 -friends 7 -checkins 3 -giant-scc -o custom.gsn
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "", "preset: foursquare-like, gowalla-like, weeplaces-like, yelp-like")
+		scale    = flag.Float64("scale", 1.0, "preset scale (1.0 ≈ 1% of the paper's sizes)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default: stdout)")
+		users    = flag.Int("users", 0, "custom: number of users")
+		venues   = flag.Int("venues", 0, "custom: number of venues")
+		friends  = flag.Float64("friends", 7, "custom: average friendship out-degree")
+		checkins = flag.Float64("checkins", 3, "custom: average check-ins per user")
+		giant    = flag.Bool("giant-scc", false, "custom: put all users in one SCC")
+		core     = flag.Float64("core", 0.5, "custom: core fraction for the fragmented regime")
+		clusters = flag.Int("clusters", 32, "custom: number of venue clusters")
+		stats    = flag.Bool("stats", false, "print the Table 3 row of the generated network to stderr")
+		emitQ    = flag.Int("emit-queries", 0, "also generate this many workload queries (rrquery -batch format)")
+		extent   = flag.Float64("extent", 5, "query-region extent in percent of the space (with -emit-queries)")
+		queriesO = flag.String("queries-o", "", "output file for generated queries (default: stderr-adjacent <o>.queries)")
+	)
+	flag.Parse()
+
+	var net *dataset.Network
+	switch *preset {
+	case "foursquare-like":
+		net = dataset.FoursquareLike(*scale, *seed)
+	case "gowalla-like":
+		net = dataset.GowallaLike(*scale, *seed)
+	case "weeplaces-like":
+		net = dataset.WeeplacesLike(*scale, *seed)
+	case "yelp-like":
+		net = dataset.YelpLike(*scale, *seed)
+	case "":
+		if *users <= 0 || *venues <= 0 {
+			fmt.Fprintln(os.Stderr, "rrgen: need -preset or both -users and -venues")
+			os.Exit(2)
+		}
+		regime := dataset.Fragmented
+		if *giant {
+			regime = dataset.GiantSCC
+		}
+		net = dataset.Generate(dataset.GenConfig{
+			Name:         "custom",
+			Users:        *users,
+			Venues:       *venues,
+			AvgFriends:   *friends,
+			AvgCheckins:  *checkins,
+			Regime:       regime,
+			CoreFraction: *core,
+			Clusters:     *clusters,
+			Seed:         *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "rrgen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	if *stats {
+		s := net.ComputeStats()
+		fmt.Fprintf(os.Stderr,
+			"%s: users=%d venues=%d checkins=%d |V|=%d |E|=%d SCCs=%d largest=%d\n",
+			s.Name, s.Users, s.Venues, s.Checkins, s.Vertices, s.Edges, s.SCCs, s.LargestSCC)
+	}
+
+	if *emitQ > 0 {
+		if err := emitQueries(net, *emitQ, *extent, *seed, *queriesO, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "rrgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *out == "" {
+		if err := dataset.Save(os.Stdout, net); err != nil {
+			fmt.Fprintf(os.Stderr, "rrgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := dataset.SaveFile(*out, net); err != nil {
+		fmt.Fprintf(os.Stderr, "rrgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// emitQueries writes an rrquery batch file drawn from the paper's
+// default workload parameters (degree bucket 50–99).
+func emitQueries(net *dataset.Network, n int, extent float64, seed int64, path, netPath string) error {
+	if path == "" {
+		if netPath == "" {
+			return fmt.Errorf("-emit-queries needs -queries-o or -o")
+		}
+		path = netPath + ".queries"
+	}
+	gen := workload.NewGenerator(net, seed+1000)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# %d queries, %g%% extent, degree bucket %s\n",
+		n, extent, workload.DefaultDegreeBucket)
+	for _, q := range gen.Batch(n, extent, workload.DefaultDegreeBucket) {
+		fmt.Fprintf(w, "%d %g %g %g %g\n",
+			q.Vertex, q.Region.Min.X, q.Region.Min.Y, q.Region.Max.X, q.Region.Max.Y)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,179 @@
+// Command rrquery loads a geosocial network, builds a RangeReach index
+// and answers queries from the command line or from a batch file.
+//
+// Usage:
+//
+//	rrquery -net foursquare.gsn -method 3dreach -q "42 13.3 52.4 13.5 52.6"
+//	rrquery -net foursquare.gsn -method spareach-bfl -batch queries.txt
+//
+// Each query is `vertex xmin ymin xmax ymax`; the batch file holds one
+// query per line ('#' comments allowed). The answer is TRUE when the
+// vertex reaches a spatial vertex inside the region.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	rangereach "repro"
+)
+
+func main() {
+	var (
+		netPath = flag.String("net", "", "network file in geosocial format (required)")
+		method  = flag.String("method", "3dreach", "3dreach, 3dreach-rev, socreach, spareach-bfl, spareach-int, spareach-pll, spareach-feline, spareach-grail, georeach, naive")
+		mbr     = flag.Bool("mbr", false, "use the MBR SCC policy (SpaReach/3DReach only)")
+		query   = flag.String("q", "", "single query: `vertex xmin ymin xmax ymax`")
+		batch   = flag.String("batch", "", "file with one query per line")
+		verbose = flag.Bool("v", false, "print index build stats")
+		saveIdx = flag.String("save-index", "", "after building, persist the index to this file")
+		loadIdx = flag.String("load-index", "", "load a persisted index instead of building (-method is ignored)")
+	)
+	flag.Parse()
+
+	if *netPath == "" {
+		fmt.Fprintln(os.Stderr, "rrquery: -net is required")
+		os.Exit(2)
+	}
+	m, ok := methodByName(*method)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rrquery: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	net, err := rangereach.LoadNetwork(*netPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+		os.Exit(1)
+	}
+	var opts []rangereach.Option
+	if *mbr {
+		opts = append(opts, rangereach.WithMBRPolicy())
+	}
+	var idx *rangereach.Index
+	if *loadIdx != "" {
+		idx, err = net.LoadIndexFile(*loadIdx)
+	} else {
+		idx, err = net.Build(m, opts...)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+		os.Exit(1)
+	}
+	if *saveIdx != "" {
+		if err := idx.SaveFile(*saveIdx); err != nil {
+			fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "rrquery: index saved to %s\n", *saveIdx)
+		}
+	}
+	if *verbose {
+		st := idx.Stats()
+		fmt.Fprintf(os.Stderr, "rrquery: %s over %q (|V|=%d |E|=%d |P|=%d): built in %v, %d bytes\n",
+			st.Method, net.Name(), net.NumVertices(), net.NumEdges(), net.NumSpatial(),
+			st.BuildTime, st.Bytes)
+	}
+
+	run := func(line string) error {
+		v, r, err := parseQuery(line)
+		if err != nil {
+			return err
+		}
+		if v < 0 || v >= net.NumVertices() {
+			return fmt.Errorf("vertex %d out of range [0,%d)", v, net.NumVertices())
+		}
+		start := time.Now()
+		ans := idx.RangeReach(v, r)
+		fmt.Printf("RangeReach(%d, [%g,%g]x[%g,%g]) = %v  (%v)\n",
+			v, r.MinX, r.MaxX, r.MinY, r.MaxY, ans, time.Since(start))
+		return nil
+	}
+
+	switch {
+	case *query != "":
+		if err := run(*query); err != nil {
+			fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+			os.Exit(1)
+		}
+	case *batch != "":
+		f, err := os.Open(*batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := run(line); err != nil {
+				fmt.Fprintf(os.Stderr, "rrquery: line %d: %v\n", lineNo, err)
+				os.Exit(1)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "rrquery: need -q or -batch")
+		os.Exit(2)
+	}
+}
+
+func methodByName(name string) (rangereach.Method, bool) {
+	switch strings.ToLower(name) {
+	case "3dreach":
+		return rangereach.ThreeDReach, true
+	case "3dreach-rev":
+		return rangereach.ThreeDReachRev, true
+	case "socreach":
+		return rangereach.SocReach, true
+	case "spareach-bfl":
+		return rangereach.SpaReachBFL, true
+	case "spareach-int":
+		return rangereach.SpaReachINT, true
+	case "georeach":
+		return rangereach.GeoReach, true
+	case "spareach-pll":
+		return rangereach.SpaReachPLL, true
+	case "spareach-feline":
+		return rangereach.SpaReachFeline, true
+	case "spareach-grail":
+		return rangereach.SpaReachGRAIL, true
+	case "naive":
+		return rangereach.Naive, true
+	default:
+		return 0, false
+	}
+}
+
+func parseQuery(s string) (int, rangereach.Rect, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 5 {
+		return 0, rangereach.Rect{}, fmt.Errorf("want `vertex xmin ymin xmax ymax`, got %q", s)
+	}
+	v, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, rangereach.Rect{}, fmt.Errorf("bad vertex %q", fields[0])
+	}
+	var coords [4]float64
+	for i, f := range fields[1:] {
+		coords[i], err = strconv.ParseFloat(f, 64)
+		if err != nil {
+			return 0, rangereach.Rect{}, fmt.Errorf("bad coordinate %q", f)
+		}
+	}
+	return v, rangereach.NewRect(coords[0], coords[1], coords[2], coords[3]), nil
+}

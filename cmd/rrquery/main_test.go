@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	rangereach "repro"
+)
+
+func TestParseQuery(t *testing.T) {
+	v, r, err := parseQuery("42 1.5 2.5 10 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("vertex = %d", v)
+	}
+	if r != rangereach.NewRect(1.5, 2.5, 10, 20) {
+		t.Errorf("rect = %+v", r)
+	}
+	// Corners normalize.
+	_, r, err = parseQuery("0 10 20 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinX != 1 || r.MaxY != 20 {
+		t.Errorf("unnormalized rect %+v", r)
+	}
+
+	for _, bad := range []string{
+		"", "1 2 3 4", "1 2 3 4 5 6", "x 1 2 3 4", "1 a 2 3 4",
+	} {
+		if _, _, err := parseQuery(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	want := map[string]rangereach.Method{
+		"3dreach":         rangereach.ThreeDReach,
+		"3DReach":         rangereach.ThreeDReach, // case-insensitive
+		"3dreach-rev":     rangereach.ThreeDReachRev,
+		"socreach":        rangereach.SocReach,
+		"spareach-bfl":    rangereach.SpaReachBFL,
+		"spareach-int":    rangereach.SpaReachINT,
+		"spareach-pll":    rangereach.SpaReachPLL,
+		"spareach-feline": rangereach.SpaReachFeline,
+		"spareach-grail":  rangereach.SpaReachGRAIL,
+		"georeach":        rangereach.GeoReach,
+		"naive":           rangereach.Naive,
+	}
+	for name, m := range want {
+		got, ok := methodByName(name)
+		if !ok || got != m {
+			t.Errorf("methodByName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := methodByName("quantum"); ok {
+		t.Error("unknown method accepted")
+	}
+}

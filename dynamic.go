@@ -1,0 +1,47 @@
+package rangereach
+
+import (
+	"repro/internal/core"
+)
+
+// DynamicIndex is an updatable 3DReach index: it answers RangeReach
+// queries while the network grows — new users, new venues, new follow
+// and check-in edges (the paper's §8 future-work direction). Post-order
+// numbers are append-only, so updates never invalidate the spatial
+// index; only the interval labels of affected vertices change.
+//
+// Edges that would create a new cycle between existing components are
+// rejected; rebuild via Network.Build after re-adding such edges to the
+// underlying network.
+type DynamicIndex struct {
+	engine *core.DynamicThreeDReach
+}
+
+// BuildDynamic constructs an updatable 3DReach index over the network's
+// current state.
+func (n *Network) BuildDynamic() *DynamicIndex {
+	return &DynamicIndex{engine: core.NewDynamicThreeDReach(n.prep, core.ThreeDOptions{})}
+}
+
+// NumVertices returns the current number of vertices, including ones
+// added through the index.
+func (idx *DynamicIndex) NumVertices() int { return idx.engine.NumVertices() }
+
+// AddUser appends a social vertex and returns its id.
+func (idx *DynamicIndex) AddUser() int { return idx.engine.AddUser() }
+
+// AddVenue appends a spatial vertex at (x, y) and returns its id.
+func (idx *DynamicIndex) AddVenue(x, y float64) int { return idx.engine.AddVenue(x, y) }
+
+// AddEdge inserts a follow/check-in edge (from, to). It returns an error
+// if an endpoint is out of range or the edge would create a new cycle.
+func (idx *DynamicIndex) AddEdge(from, to int) error { return idx.engine.AddEdge(from, to) }
+
+// RangeReach reports whether vertex v currently reaches a spatial vertex
+// inside r.
+func (idx *DynamicIndex) RangeReach(v int, r Rect) bool {
+	return idx.engine.RangeReach(v, r.internal())
+}
+
+// MemoryBytes returns the current index footprint.
+func (idx *DynamicIndex) MemoryBytes() int64 { return idx.engine.MemoryBytes() }

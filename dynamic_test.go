@@ -1,0 +1,97 @@
+package rangereach_test
+
+import (
+	"testing"
+
+	rangereach "repro"
+)
+
+func TestDynamicIndex(t *testing.T) {
+	net := figure1(t)
+	idx := net.BuildDynamic()
+	region := rangereach.NewRect(60, 55, 90, 95)
+	if !idx.RangeReach(0, region) || idx.RangeReach(2, region) {
+		t.Fatal("dynamic index disagrees with static answers")
+	}
+
+	// Vertex c (2) gains a check-in at a brand-new venue inside R: the
+	// query flips to true for c and stays false for unrelated k (10).
+	venue := idx.AddVenue(75, 70)
+	if venue != net.NumVertices() {
+		t.Fatalf("AddVenue id = %d, want %d", venue, net.NumVertices())
+	}
+	if err := idx.AddEdge(2, venue); err != nil {
+		t.Fatal(err)
+	}
+	if !idx.RangeReach(2, region) {
+		t.Error("c should reach the new venue")
+	}
+	if idx.RangeReach(10, region) {
+		t.Error("k should not reach anything in R")
+	}
+
+	// A new user following c inherits its geosocial reach.
+	follower := idx.AddUser()
+	if err := idx.AddEdge(follower, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !idx.RangeReach(follower, region) {
+		t.Error("follower of c should reach the new venue")
+	}
+	if idx.NumVertices() != 14 {
+		t.Errorf("NumVertices = %d, want 14", idx.NumVertices())
+	}
+	if idx.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+
+	// Cycle rejection surfaces as an error.
+	if err := idx.AddEdge(2, follower); err == nil {
+		t.Error("cycle-creating edge accepted")
+	}
+	if err := idx.AddEdge(0, 99); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestDynamicIndexMatchesStaticRebuild(t *testing.T) {
+	// After a batch of updates, a fresh static index over the equivalent
+	// network must agree with the dynamic one.
+	b := rangereach.NewNetworkBuilder(3).SetName("base")
+	b.AddEdge(0, 1)
+	b.SetPoint(2, 50, 50)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := net.BuildDynamic()
+	v3 := dyn.AddVenue(10, 10)
+	if err := dyn.AddEdge(1, v3); err != nil {
+		t.Fatal(err)
+	}
+	if err := dyn.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := rangereach.NewNetworkBuilder(4).SetName("rebuilt")
+	b2.AddEdge(0, 1).AddEdge(1, 3).AddEdge(1, 2)
+	b2.SetPoint(2, 50, 50).SetPoint(3, 10, 10)
+	net2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := net2.MustBuild(rangereach.ThreeDReach)
+
+	regions := []rangereach.Rect{
+		rangereach.NewRect(0, 0, 20, 20),
+		rangereach.NewRect(40, 40, 60, 60),
+		rangereach.NewRect(80, 80, 99, 99),
+	}
+	for v := 0; v < 4; v++ {
+		for _, r := range regions {
+			if dyn.RangeReach(v, r) != static.RangeReach(v, r) {
+				t.Errorf("dynamic and static disagree at v=%d r=%+v", v, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package rangereach_test
+
+import (
+	"fmt"
+
+	rangereach "repro"
+)
+
+// The smallest possible geosocial network: one user following another
+// user who checked into two venues.
+func ExampleNetworkBuilder() {
+	b := rangereach.NewNetworkBuilder(4).SetName("demo")
+	b.AddEdge(0, 1) // user 0 follows user 1
+	b.AddEdge(1, 2) // user 1 checked into venue 2
+	b.AddEdge(1, 3) // ... and venue 3
+	b.SetPoint(2, 13.40, 52.52)
+	b.SetPoint(3, 2.35, 48.86)
+	net, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(net.NumVertices(), "vertices,", net.NumSpatial(), "venues")
+	// Output: 4 vertices, 2 venues
+}
+
+func ExampleIndex_rangeReach() {
+	b := rangereach.NewNetworkBuilder(4)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(1, 3)
+	b.SetPoint(2, 13.40, 52.52) // Berlin
+	b.SetPoint(3, 2.35, 48.86)  // Paris
+	net, _ := b.Build()
+
+	idx, _ := net.Build(rangereach.ThreeDReach)
+	berlin := rangereach.NewRect(13.0, 52.3, 13.8, 52.7)
+	fmt.Println(idx.RangeReach(0, berlin)) // 0 -> 1 -> venue 2
+	fmt.Println(idx.RangeReach(2, berlin)) // venue 2 is itself in Berlin
+	fmt.Println(idx.RangeReach(3, berlin)) // Paris venue has no outgoing path
+	// Output:
+	// true
+	// true
+	// false
+}
+
+func ExampleNetwork_buildDynamic() {
+	b := rangereach.NewNetworkBuilder(2)
+	b.AddEdge(0, 1)
+	net, _ := b.Build()
+
+	idx := net.BuildDynamic()
+	region := rangereach.NewRect(0, 0, 10, 10)
+	fmt.Println(idx.RangeReach(0, region)) // no venues yet
+
+	cafe := idx.AddVenue(5, 5)
+	if err := idx.AddEdge(1, cafe); err != nil {
+		panic(err)
+	}
+	fmt.Println(idx.RangeReach(0, region)) // 0 -> 1 -> cafe
+	// Output:
+	// false
+	// true
+}
+
+func ExampleNetworkBuilder_setRect() {
+	// A venue with a rectangular extent (paper footnote 1): any query
+	// region intersecting the rectangle is a witness.
+	b := rangereach.NewNetworkBuilder(2)
+	b.AddEdge(0, 1)
+	b.SetRect(1, rangereach.NewRect(40, 40, 60, 60))
+	net, _ := b.Build()
+	idx, _ := net.Build(rangereach.ThreeDReach)
+	fmt.Println(idx.RangeReach(0, rangereach.NewRect(58, 58, 70, 70)))
+	fmt.Println(idx.RangeReach(0, rangereach.NewRect(61, 61, 70, 70)))
+	// Output:
+	// true
+	// false
+}

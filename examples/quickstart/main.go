@@ -1,0 +1,61 @@
+// Quickstart: build a small geosocial network by hand, index it with
+// 3DReach and answer RangeReach queries.
+//
+// The network is the paper's running example (Figure 1): users a–d and
+// venues with points, where vertex a can geosocially reach the query
+// region but vertex c cannot.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rangereach "repro"
+)
+
+func main() {
+	// Vertices 0..11 are the paper's a..l; 4 (e), 5 (f), 7 (h), 8 (i)
+	// and 11 (l) are venues with coordinates.
+	b := rangereach.NewNetworkBuilder(12).SetName("figure-1")
+	edges := [][2]int{
+		{0, 1}, {0, 3}, {0, 9}, // a -> b, d, j
+		{1, 4}, {1, 11}, {1, 3}, // b -> e, l, d
+		{2, 8}, {2, 10}, {2, 3}, // c -> i, k, d
+		{4, 5},         // e -> f
+		{6, 8},         // g -> i
+		{8, 5},         // i -> f
+		{9, 6}, {9, 7}, // j -> g, h
+		{11, 7}, // l -> h
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	b.SetPoint(4, 70, 80)  // e, inside the region below
+	b.SetPoint(7, 80, 60)  // h, inside
+	b.SetPoint(5, 10, 10)  // f
+	b.SetPoint(8, 20, 90)  // i
+	b.SetPoint(11, 40, 20) // l
+
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx, err := net.Build(rangereach.ThreeDReach)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("indexed %q with %s: %d vertices, %v build time, %d bytes\n",
+		net.Name(), st.Method, net.NumVertices(), st.BuildTime, st.Bytes)
+
+	region := rangereach.NewRect(60, 55, 90, 95)
+	for _, v := range []int{0, 2} { // a and c
+		fmt.Printf("RangeReach(%c, R) = %v\n", 'a'+v, idx.RangeReach(v, region))
+	}
+	// Output:
+	//   RangeReach(a, R) = true   (a reaches venues e and h inside R)
+	//   RangeReach(c, R) = false  (c only reaches f and i, both outside)
+}

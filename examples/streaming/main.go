@@ -1,0 +1,122 @@
+// Streaming updates (paper §8 future work): a geosocial network that
+// grows while being queried. The example replays a simulated stream of
+// events — new users signing up, new venues opening, follows and
+// check-ins — against the updatable 3DReach index, interleaved with
+// monitoring queries, and finally persists a freshly rebuilt static
+// index for the next process.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	rangereach "repro"
+)
+
+func main() {
+	// Day 0: a modest network snapshot.
+	base := rangereach.GenerateSynthetic(rangereach.SyntheticConfig{
+		Name: "day0", Users: 3000, Venues: 1500,
+		AvgFriends: 5, AvgCheckins: 2, CoreFraction: 0.5, Seed: 99,
+	})
+	idx := base.BuildDynamic()
+	fmt.Printf("day 0: %d vertices indexed\n", idx.NumVertices())
+
+	// The monitored region: a city-center square.
+	space := base.Space()
+	cx, cy := (space.MinX+space.MaxX)/2, (space.MinY+space.MaxY)/2
+	center := rangereach.NewRect(cx-8, cy-8, cx+8, cy+8)
+
+	rng := rand.New(rand.NewSource(7))
+	var users, venues, follows, checkins, rejected, queries int
+	watch := make([]int, 0, 16) // recently added users we keep querying
+
+	start := time.Now()
+	for event := 0; event < 8000; event++ {
+		switch rng.Intn(10) {
+		case 0: // signup
+			u := idx.AddUser()
+			users++
+			if len(watch) < cap(watch) {
+				watch = append(watch, u)
+			}
+		case 1: // new venue near the center half the time
+			x := space.MinX + rng.Float64()*(space.MaxX-space.MinX)
+			y := space.MinY + rng.Float64()*(space.MaxY-space.MinY)
+			if rng.Intn(2) == 0 {
+				x, y = cx+rng.NormFloat64()*5, cy+rng.NormFloat64()*5
+			}
+			idx.AddVenue(x, y)
+			venues++
+		case 2, 3, 4: // follow
+			if err := idx.AddEdge(rng.Intn(idx.NumVertices()), rng.Intn(idx.NumVertices())); err != nil {
+				rejected++ // would close a cycle; fine for a stream
+			} else {
+				follows++
+			}
+		default: // check-in: any vertex -> any vertex works the same way
+			if err := idx.AddEdge(rng.Intn(idx.NumVertices()), rng.Intn(idx.NumVertices())); err != nil {
+				rejected++
+			} else {
+				checkins++
+			}
+		}
+		// Every 500 events, re-check the watched users against the
+		// city center.
+		if event%500 == 499 {
+			for _, u := range watch {
+				idx.RangeReach(u, center)
+				queries++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed 8000 events in %v: +%d users, +%d venues, +%d follows, +%d checkins (%d cycle-rejections), %d queries inline\n",
+		elapsed, users, venues, follows, checkins, rejected, queries)
+
+	reached := 0
+	for _, u := range watch {
+		if idx.RangeReach(u, center) {
+			reached++
+		}
+	}
+	fmt.Printf("%d/%d watched users now geosocially reach the city center\n", reached, len(watch))
+
+	// End of day: persist a compact static index for tomorrow's readers.
+	// (The dynamic index accumulates fragmented labels; a static rebuild
+	// restores optimal compression.)
+	dir, err := os.MkdirTemp("", "rangereach")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	static := base.MustBuild(rangereach.ThreeDReach)
+	path := filepath.Join(dir, "day0.rrx")
+	if err := static.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := base.LoadIndexFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Tomorrow's batch job answers monitoring queries in parallel.
+	batch := make([]rangereach.Query, 0, 64)
+	for v := 0; v < base.NumVertices(); v += base.NumVertices() / 64 {
+		batch = append(batch, rangereach.Query{Vertex: v, Region: center})
+	}
+	answers := loaded.RangeReachBatch(batch, 0)
+	positive := 0
+	for _, ok := range answers {
+		if ok {
+			positive++
+		}
+	}
+	fmt.Printf("persisted index reloaded from %s; batch of %d monitoring queries: %d positive\n",
+		filepath.Base(path), len(batch), positive)
+}

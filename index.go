@@ -1,0 +1,154 @@
+package rangereach
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Option customizes index construction; see WithMBRPolicy and friends.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	opts core.BuildOptions
+}
+
+// WithMBRPolicy switches the SCC spatial policy from the default
+// Replicate to MBR: every strongly connected component is represented by
+// the bounding rectangle of its member points instead of the points
+// themselves (paper §5). Only SpaReach and 3DReach variants support it;
+// Build returns an error otherwise.
+func WithMBRPolicy() Option {
+	return func(c *buildConfig) { c.opts.Policy = dataset.MBR }
+}
+
+// WithRTreeFanout sets the fan-out of the spatial R-trees (default 16).
+func WithRTreeFanout(fanout int) Option {
+	return func(c *buildConfig) {
+		c.opts.SpaReach.Fanout = fanout
+		c.opts.ThreeD.Fanout = fanout
+	}
+}
+
+// WithBFLBits sets the Bloom-filter width of SpaReach-BFL in bits
+// (default 256; rounded up to a multiple of 64).
+func WithBFLBits(bits int) Option {
+	return func(c *buildConfig) { c.opts.SpaReach.BFLBits = bits }
+}
+
+// SpatialBackend selects the 3D point index behind ThreeDReach under the
+// default Replicate policy.
+type SpatialBackend = core.SpatialBackend
+
+// The available 3DReach spatial backends.
+const (
+	// BackendRTree is the paper's choice (default).
+	BackendRTree = core.BackendRTree
+	// BackendKDTree uses a balanced k-d tree.
+	BackendKDTree = core.BackendKDTree
+	// BackendGrid uses a uniform 3D grid.
+	BackendGrid = core.BackendGrid
+)
+
+// WithSpatialBackend swaps the 3D point index of ThreeDReach; the paper
+// (§7.2) notes the R-tree is replaceable by any 3D-capable structure.
+func WithSpatialBackend(b SpatialBackend) Option {
+	return func(c *buildConfig) { c.opts.ThreeD.Backend = b }
+}
+
+// WithGeoReachParams tunes the SPA-Graph construction: maxRMBR is the
+// maximum RMBR extent as a fraction of the space, maxReachGrids the
+// ReachGrid cardinality limit, and mergeCount the sibling-merge
+// threshold (paper §2.2.2). Zero values keep the defaults.
+func WithGeoReachParams(maxRMBR float64, maxReachGrids, mergeCount int) Option {
+	return func(c *buildConfig) {
+		c.opts.GeoReach.Params.MaxRMBRFraction = maxRMBR
+		c.opts.GeoReach.Params.MaxReachGrids = maxReachGrids
+		c.opts.GeoReach.Params.MergeCount = mergeCount
+	}
+}
+
+// Index answers RangeReach queries for one network with one method.
+type Index struct {
+	net    *Network
+	method Method
+	engine core.Engine
+	stats  IndexStats
+}
+
+// IndexStats reports the offline costs of an index (the paper's
+// Tables 4 and 5).
+type IndexStats struct {
+	// Method is the evaluation method the index implements.
+	Method Method
+	// BuildTime is the wall-clock construction time.
+	BuildTime time.Duration
+	// Bytes is the approximate in-memory footprint of the index
+	// structures (the shared network itself is not counted).
+	Bytes int64
+}
+
+// Build constructs a RangeReach index over the network.
+func (n *Network) Build(m Method, options ...Option) (*Index, error) {
+	var cfg buildConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	if m == Naive {
+		return &Index{
+			net:    n,
+			method: m,
+			engine: core.NewNaiveBFS(n.net),
+			stats:  IndexStats{Method: m},
+		}, nil
+	}
+	cm, ok := m.internal()
+	if !ok {
+		return nil, fmt.Errorf("rangereach: unknown method %v", m)
+	}
+	res, err := core.BuildMethod(n.prep, cm, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		net:    n,
+		method: m,
+		engine: res.Engine,
+		stats: IndexStats{
+			Method:    m,
+			BuildTime: res.BuildTime,
+			Bytes:     res.Bytes,
+		},
+	}, nil
+}
+
+// MustBuild is Build for static configurations known to be valid; it
+// panics on error.
+func (n *Network) MustBuild(m Method, options ...Option) *Index {
+	idx, err := n.Build(m, options...)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Method returns the evaluation method of the index.
+func (idx *Index) Method() Method { return idx.method }
+
+// Stats returns the offline costs of the index.
+func (idx *Index) Stats() IndexStats { return idx.stats }
+
+// RangeReach reports whether vertex v can reach — along directed edges —
+// any spatial vertex whose point lies inside r. It panics if v is out of
+// range, mirroring slice semantics.
+func (idx *Index) RangeReach(v int, r Rect) bool {
+	if v < 0 || v >= idx.net.NumVertices() {
+		panic(fmt.Sprintf("rangereach: vertex %d out of range [0,%d)", v, idx.net.NumVertices()))
+	}
+	return idx.engine.RangeReach(v, r.internal())
+}
+
+// Network returns the network the index was built over.
+func (idx *Index) Network() *Network { return idx.net }

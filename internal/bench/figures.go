@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// Series is one plotted line: average query latency per x-axis value.
+type Series struct {
+	Method core.Method
+	Policy dataset.SCCPolicy
+	// Points maps x-label ("5%", "50-99", "0.01%") to the average
+	// per-query latency.
+	Points map[string]time.Duration
+}
+
+// FigureResult holds all series of one subplot.
+type FigureResult struct {
+	Dataset string
+	XAxis   string // "extent", "degree" or "selectivity"
+	Labels  []string
+	Series  []Series
+}
+
+// varyingWorkloads enumerates the paper's three x-axes with the other
+// parameters held at their defaults (§6.1).
+func (s *Suite) varyingWorkloads(ds int, xaxis string) (labels []string, batches [][]workload.Query) {
+	gen := s.gens[ds]
+	n := s.cfg.Queries
+	switch xaxis {
+	case "extent":
+		for _, pct := range workload.Extents {
+			labels = append(labels, fmtPct(pct))
+			batches = append(batches, gen.Batch(n, pct, workload.DefaultDegreeBucket))
+		}
+	case "degree":
+		for _, b := range workload.DegreeBuckets {
+			labels = append(labels, b.String())
+			batches = append(batches, gen.Batch(n, workload.DefaultExtent, b))
+		}
+	case "selectivity":
+		for _, sel := range workload.Selectivities {
+			labels = append(labels, fmtPct(sel))
+			batches = append(batches, gen.SelectivityBatch(n, sel, workload.DefaultDegreeBucket))
+		}
+	default:
+		panic("bench: unknown x-axis " + xaxis)
+	}
+	return labels, batches
+}
+
+func fmtPct(v float64) string {
+	switch {
+	case v >= 1:
+		return itoa(int(v)) + "%"
+	case v >= 0.01:
+		return trimFloat(v) + "%"
+	default:
+		return trimFloat(v) + "%"
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func trimFloat(v float64) string {
+	// Render 0.001, 0.01, 0.1 without trailing zeros.
+	s := []byte("0.")
+	for v < 1 && len(s) < 10 {
+		v *= 10
+		digit := int(v) % 10
+		s = append(s, byte('0'+digit))
+	}
+	return string(s)
+}
+
+// runFigure measures the listed (method, policy) engines over the given
+// x-axis for one dataset.
+func (s *Suite) runFigure(ds int, xaxis string, combos []struct {
+	m core.Method
+	p dataset.SCCPolicy
+}) FigureResult {
+	labels, batches := s.varyingWorkloads(ds, xaxis)
+	result := FigureResult{Dataset: s.nets[ds].Name, XAxis: xaxis, Labels: labels}
+	for _, combo := range combos {
+		res := s.engine(ds, combo.m, combo.p)
+		series := Series{Method: combo.m, Policy: combo.p, Points: make(map[string]time.Duration)}
+		for i, batch := range batches {
+			series.Points[labels[i]] = avgQueryTime(res.Engine, batch)
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result
+}
+
+func (s *Suite) printFigure(title string, results []FigureResult, withPolicy bool) {
+	s.printf("\n== %s ==\n", title)
+	for _, fr := range results {
+		s.printf("\n-- %s, varying %s (avg query time over %d queries) --\n",
+			fr.Dataset, fr.XAxis, s.cfg.Queries)
+		s.printf("%-28s", "method")
+		for _, l := range fr.Labels {
+			s.printf(" %12s", l)
+		}
+		s.printf("\n")
+		for _, series := range fr.Series {
+			name := series.Method.String()
+			if withPolicy {
+				name += "/" + series.Policy.String()
+			}
+			s.printf("%-28s", name)
+			for _, l := range fr.Labels {
+				s.printf(" %12s", fmtDuration(series.Points[l]))
+			}
+			s.printf("\n")
+		}
+	}
+}
+
+// Figure5 compares the Replicate (non-MBR) and MBR policies for
+// SpaReach-INT, varying the query extent and the query-vertex degree
+// (paper Figure 5; the paper omits the other methods' variants as they
+// behave alike).
+func (s *Suite) Figure5() []FigureResult {
+	combos := []struct {
+		m core.Method
+		p dataset.SCCPolicy
+	}{
+		{core.MethodSpaReachINT, dataset.Replicate},
+		{core.MethodSpaReachINT, dataset.MBR},
+	}
+	var results []FigureResult
+	for ds := range s.nets {
+		for _, axis := range []string{"extent", "degree"} {
+			results = append(results, s.runFigure(ds, axis, combos))
+		}
+	}
+	s.printFigure("Figure 5: handling spatial SCCs (non-MBR vs MBR)", results, true)
+	return results
+}
+
+// Figure6 compares the two spatial-first methods, SpaReach-BFL and
+// SpaReach-INT (paper Figure 6).
+func (s *Suite) Figure6() []FigureResult {
+	combos := []struct {
+		m core.Method
+		p dataset.SCCPolicy
+	}{
+		{core.MethodSpaReachBFL, dataset.Replicate},
+		{core.MethodSpaReachINT, dataset.Replicate},
+	}
+	var results []FigureResult
+	for ds := range s.nets {
+		for _, axis := range []string{"extent", "degree", "selectivity"} {
+			results = append(results, s.runFigure(ds, axis, combos))
+		}
+	}
+	s.printFigure("Figure 6: determining the best SpaReach", results, false)
+	return results
+}
+
+// Figure7 is the main comparison: SpaReach-BFL, GeoReach, SocReach,
+// 3DReach and 3DReach-Rev (paper Figure 7).
+func (s *Suite) Figure7() []FigureResult {
+	combos := []struct {
+		m core.Method
+		p dataset.SCCPolicy
+	}{
+		{core.MethodSpaReachBFL, dataset.Replicate},
+		{core.MethodGeoReach, dataset.Replicate},
+		{core.MethodSocReach, dataset.Replicate},
+		{core.MethodThreeDReach, dataset.Replicate},
+		{core.MethodThreeDReachRev, dataset.Replicate},
+	}
+	var results []FigureResult
+	for ds := range s.nets {
+		for _, axis := range []string{"extent", "degree", "selectivity"} {
+			results = append(results, s.runFigure(ds, axis, combos))
+		}
+	}
+	s.printFigure("Figure 7: comparing all evaluation methods", results, false)
+	return results
+}
+
+// PositiveRates reports the share of TRUE answers in the default
+// workload per dataset — a sanity check that negative queries (the
+// methods' worst case) are exercised.
+func (s *Suite) PositiveRates() map[string]float64 {
+	out := make(map[string]float64)
+	s.printf("\n== Workload positive-answer rates (default parameters) ==\n")
+	for ds := range s.nets {
+		qs := s.gens[ds].Batch(s.cfg.Queries, workload.DefaultExtent, workload.DefaultDegreeBucket)
+		res := s.engine(ds, core.MethodThreeDReach, dataset.Replicate)
+		rate := float64(positives(res.Engine, qs)) / float64(len(qs))
+		out[s.nets[ds].Name] = rate
+		s.printf("%-16s %.1f%% positive\n", s.nets[ds].Name, 100*rate)
+	}
+	return out
+}

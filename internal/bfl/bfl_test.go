@@ -1,0 +1,114 @@
+package bfl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomDAG(rng *rand.Rand, n, edges int) *graph.Graph {
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < edges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if perm[u] > perm[v] {
+			u, v = v, u
+		}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func TestReachMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		idx := Build(g, Options{Seed: int64(trial)})
+		for u := 0; u < n; u++ {
+			reach := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				if got := idx.Reach(u, v); got != reach[v] {
+					t.Fatalf("trial %d: Reach(%d,%d) = %v, want %v", trial, u, v, got, reach[v])
+				}
+			}
+		}
+	}
+}
+
+func TestReachSelf(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}})
+	idx := Build(g, Options{})
+	for v := 0; v < 3; v++ {
+		if !idx.Reach(v, v) {
+			t.Errorf("Reach(%d,%d) = false", v, v)
+		}
+	}
+}
+
+func TestSmallFilterStillCorrect(t *testing.T) {
+	// A tiny Bloom filter saturates and loses pruning power but must
+	// never lose correctness (it only adds DFS fallbacks).
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(30)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		idx := Build(g, Options{Bits: 64, Seed: 1})
+		for u := 0; u < n; u++ {
+			reach := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				if got := idx.Reach(u, v); got != reach[v] {
+					t.Fatalf("trial %d: Reach(%d,%d) = %v, want %v", trial, u, v, got, reach[v])
+				}
+			}
+		}
+	}
+}
+
+func TestChainAndDiamond(t *testing.T) {
+	chain := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	idx := Build(chain, Options{})
+	if !idx.Reach(0, 4) || idx.Reach(4, 0) || idx.Reach(2, 1) {
+		t.Error("chain reachability wrong")
+	}
+
+	diamond := graph.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	idx = Build(diamond, Options{})
+	if !idx.Reach(0, 3) || idx.Reach(1, 2) || idx.Reach(2, 1) {
+		t.Error("diamond reachability wrong")
+	}
+}
+
+func TestPanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on cyclic input")
+		}
+	}()
+	Build(graph.FromEdges(2, [][2]int{{0, 1}, {1, 0}}), Options{})
+}
+
+func TestMemoryBytesScalesWithBits(t *testing.T) {
+	g := graph.FromEdges(10, [][2]int{{0, 1}, {1, 2}})
+	small := Build(g, Options{Bits: 64})
+	big := Build(g, Options{Bits: 512})
+	if big.MemoryBytes() <= small.MemoryBytes() {
+		t.Errorf("MemoryBytes: 512-bit %d <= 64-bit %d", big.MemoryBytes(), small.MemoryBytes())
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	g := randomDAG(rng, 30, 90)
+	a := Build(g, Options{Seed: 7})
+	b := Build(g, Options{Seed: 7})
+	for v := 0; v < 30; v++ {
+		if a.hash[v] != b.hash[v] {
+			t.Fatal("same seed produced different hash assignments")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package bfl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Serialization persists the BFL labels so SpaReach-BFL can reload
+// without rebuilding. Queries need the graph for the pruned-DFS
+// fallback, so Read takes the (cheaply reconstructible) DAG. Versioned
+// little-endian binary:
+//
+//	magic "RRBF" | version u8 | n u32 | words u32 |
+//	hash [n]i32 | out [n*words]u64 | in [n*words]u64 |
+//	discover [n]i32 | finish [n]i32
+
+var bflMagic = [4]byte{'R', 'R', 'B', 'F'}
+
+const bflVersion = 1
+
+// WriteTo serializes the index labels. It implements io.WriterTo.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	for _, step := range []any{
+		bflMagic, uint8(bflVersion),
+		uint32(len(idx.hash)), uint32(idx.words),
+		idx.hash, idx.out, idx.in, idx.discover, idx.finish,
+	} {
+		if err := write(step); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes an index written by WriteTo and attaches it to g,
+// which must be the same DAG the index was built over (same vertex
+// count; reachability answers are undefined otherwise).
+func Read(g *graph.Graph, r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic [4]byte
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("bfl: reading magic: %w", err)
+	}
+	if magic != bflMagic {
+		return nil, fmt.Errorf("bfl: bad magic %q", magic)
+	}
+	var version uint8
+	if err := read(&version); err != nil {
+		return nil, fmt.Errorf("bfl: reading version: %w", err)
+	}
+	if version != bflVersion {
+		return nil, fmt.Errorf("bfl: unsupported version %d", version)
+	}
+	var n, words uint32
+	if err := read(&n); err != nil {
+		return nil, fmt.Errorf("bfl: reading sizes: %w", err)
+	}
+	if err := read(&words); err != nil {
+		return nil, fmt.Errorf("bfl: reading sizes: %w", err)
+	}
+	if int(n) != g.NumVertices() {
+		return nil, fmt.Errorf("bfl: index has %d vertices, graph has %d", n, g.NumVertices())
+	}
+	if words == 0 || words > 1024 {
+		return nil, fmt.Errorf("bfl: implausible filter width %d words", words)
+	}
+	idx := &Index{
+		g:        g,
+		words:    int(words),
+		hash:     make([]int32, n),
+		out:      make([]uint64, int(n)*int(words)),
+		in:       make([]uint64, int(n)*int(words)),
+		discover: make([]int32, n),
+		finish:   make([]int32, n),
+	}
+	for _, step := range []any{idx.hash, idx.out, idx.in, idx.discover, idx.finish} {
+		if err := read(step); err != nil {
+			return nil, fmt.Errorf("bfl: reading labels: %w", err)
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,62 @@
+package bfl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBFLSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		idx := Build(g, Options{Seed: int64(trial)})
+
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(g, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			reach := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				if got.Reach(u, v) != reach[v] {
+					t.Fatalf("trial %d: loaded Reach(%d,%d) wrong", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBFLReadValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := randomDAG(rng, 20, 50)
+	idx := Build(g, Options{})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Wrong graph size.
+	other := randomDAG(rng, 5, 5)
+	if _, err := Read(other, bytes.NewReader(valid)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Corrupt inputs.
+	for name, input := range map[string][]byte{
+		"empty":     {},
+		"bad-magic": append([]byte("NOPE"), valid[4:]...),
+		"truncated": valid[:10],
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(g, bytes.NewReader(input)); err == nil {
+				t.Error("corrupt input accepted")
+			}
+		})
+	}
+}

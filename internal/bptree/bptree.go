@@ -1,0 +1,305 @@
+// Package bptree implements an in-memory B+-tree over int32 keys with
+// int32 values. The paper (§4.1) notes that SocReach's label intervals
+// are "typical (relational) range queries over the post-order numbers of
+// the network vertices" that can be evaluated with "a traditional
+// B+-tree which indexes post(v)" — this package provides that index, and
+// unlike the plain post-order array it supports gaps in the key domain,
+// the prerequisite for accommodating vertex insertions (paper §8).
+package bptree
+
+import "sort"
+
+// order is the fan-out: max keys per node.
+const order = 32
+
+// Tree is a B+-tree mapping int32 keys to int32 values. Keys are unique;
+// Insert overwrites.
+type Tree struct {
+	root node
+	size int
+}
+
+// node is either *leaf or *inner.
+type node interface{}
+
+type leaf struct {
+	keys   []int32
+	values []int32
+	next   *leaf
+}
+
+type inner struct {
+	keys     []int32 // len(children) - 1 separators
+	children []node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &leaf{}}
+}
+
+// FromSorted bulk-loads a tree from key-ascending pairs, which is how
+// the labeling hands over its post-order array. It panics if keys are
+// not strictly increasing.
+func FromSorted(keys, values []int32) *Tree {
+	if len(keys) != len(values) {
+		panic("bptree: keys/values length mismatch")
+	}
+	t := New()
+	if len(keys) == 0 {
+		return t
+	}
+	// Pack leaves at ~3/4 fill.
+	const fill = order * 3 / 4
+	var leaves []*leaf
+	for i := 0; i < len(keys); i += fill {
+		end := i + fill
+		if end > len(keys) {
+			end = len(keys)
+		}
+		l := &leaf{
+			keys:   append([]int32(nil), keys[i:end]...),
+			values: append([]int32(nil), values[i:end]...),
+		}
+		for j := 1; j < len(l.keys); j++ {
+			if l.keys[j] <= l.keys[j-1] {
+				panic("bptree: FromSorted keys not strictly increasing")
+			}
+		}
+		if i > 0 && keys[i] <= keys[i-1] {
+			panic("bptree: FromSorted keys not strictly increasing")
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = l
+		}
+		leaves = append(leaves, l)
+	}
+	t.size = len(keys)
+	// Build inner levels.
+	level := make([]node, len(leaves))
+	seps := make([]int32, 0, len(leaves))
+	for i, l := range leaves {
+		level[i] = l
+		if i > 0 {
+			seps = append(seps, l.keys[0])
+		}
+	}
+	for len(level) > 1 {
+		var nextLevel []node
+		var nextSeps []int32
+		for i := 0; i < len(level); i += fill {
+			end := i + fill
+			if end > len(level) {
+				end = len(level)
+			}
+			in := &inner{
+				children: append([]node(nil), level[i:end]...),
+				keys:     append([]int32(nil), seps[i:end-1]...),
+			}
+			if i > 0 {
+				nextSeps = append(nextSeps, seps[i-1])
+			}
+			nextLevel = append(nextLevel, in)
+		}
+		level, seps = nextLevel, nextSeps
+	}
+	t.root = level[0]
+	return t
+}
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value for key.
+func (t *Tree) Get(key int32) (int32, bool) {
+	l, i := t.seek(key)
+	if i < len(l.keys) && l.keys[i] == key {
+		return l.values[i], true
+	}
+	return 0, false
+}
+
+// seek returns the leaf that would hold key and the position of the
+// first key >= key inside it.
+func (t *Tree) seek(key int32) (*leaf, int) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			i := sort.Search(len(v.keys), func(i int) bool { return v.keys[i] >= key })
+			return v, i
+		case *inner:
+			i := sort.Search(len(v.keys), func(i int) bool { return v.keys[i] > key })
+			n = v.children[i]
+		}
+	}
+}
+
+// Insert stores (key, value), overwriting any existing value.
+func (t *Tree) Insert(key, value int32) {
+	sep, right := t.insertAt(&t.size, t.root, key, value)
+	if right != nil {
+		t.root = &inner{keys: []int32{sep}, children: []node{t.root, right}}
+	}
+}
+
+func (t *Tree) insertAt(size *int, n node, key, value int32) (int32, node) {
+	switch v := n.(type) {
+	case *leaf:
+		i := sort.Search(len(v.keys), func(i int) bool { return v.keys[i] >= key })
+		if i < len(v.keys) && v.keys[i] == key {
+			v.values[i] = value
+			return 0, nil
+		}
+		v.keys = append(v.keys, 0)
+		v.values = append(v.values, 0)
+		copy(v.keys[i+1:], v.keys[i:])
+		copy(v.values[i+1:], v.values[i:])
+		v.keys[i] = key
+		v.values[i] = value
+		*size++
+		if len(v.keys) <= order {
+			return 0, nil
+		}
+		mid := len(v.keys) / 2
+		right := &leaf{
+			keys:   append([]int32(nil), v.keys[mid:]...),
+			values: append([]int32(nil), v.values[mid:]...),
+			next:   v.next,
+		}
+		v.keys = v.keys[:mid]
+		v.values = v.values[:mid]
+		v.next = right
+		return right.keys[0], right
+	case *inner:
+		i := sort.Search(len(v.keys), func(i int) bool { return v.keys[i] > key })
+		sep, right := t.insertAt(size, v.children[i], key, value)
+		if right == nil {
+			return 0, nil
+		}
+		v.keys = append(v.keys, 0)
+		copy(v.keys[i+1:], v.keys[i:])
+		v.keys[i] = sep
+		v.children = append(v.children, nil)
+		copy(v.children[i+2:], v.children[i+1:])
+		v.children[i+1] = right
+		if len(v.children) <= order {
+			return 0, nil
+		}
+		mid := len(v.keys) / 2
+		sepUp := v.keys[mid]
+		right2 := &inner{
+			keys:     append([]int32(nil), v.keys[mid+1:]...),
+			children: append([]node(nil), v.children[mid+1:]...),
+		}
+		v.keys = v.keys[:mid]
+		v.children = v.children[:mid+1]
+		return sepUp, right2
+	}
+	panic("bptree: unknown node type")
+}
+
+// Range calls fn for every pair with lo <= key <= hi, in key order. If
+// fn returns false the scan stops and Range returns false.
+func (t *Tree) Range(lo, hi int32, fn func(key, value int32) bool) bool {
+	l, i := t.seek(lo)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			if l.keys[i] > hi {
+				return true
+			}
+			if !fn(l.keys[i], l.values[i]) {
+				return false
+			}
+		}
+		l = l.next
+		i = 0
+	}
+	return true
+}
+
+// MemoryBytes returns the approximate footprint of the tree.
+func (t *Tree) MemoryBytes() int64 {
+	var total int64
+	var walk func(n node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case *leaf:
+			total += int64(4*(len(v.keys)+len(v.values))) + 8
+		case *inner:
+			total += int64(4*len(v.keys)+8*len(v.children)) + 8
+			for _, c := range v.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+// CheckInvariants validates ordering and linkage; tests use it. It
+// returns "" when the tree is well formed.
+func (t *Tree) CheckInvariants() string {
+	count := 0
+	var prev *int32
+	var firstLeaf *leaf
+	var walk func(n node, lo, hi *int32) string
+	walk = func(n node, lo, hi *int32) string {
+		switch v := n.(type) {
+		case *leaf:
+			if firstLeaf == nil {
+				firstLeaf = v
+			}
+			for _, k := range v.keys {
+				if prev != nil && k <= *prev {
+					return "keys not strictly increasing"
+				}
+				if lo != nil && k < *lo {
+					return "key below subtree bound"
+				}
+				if hi != nil && k >= *hi {
+					return "key above subtree bound"
+				}
+				kk := k
+				prev = &kk
+				count++
+			}
+		case *inner:
+			if len(v.children) != len(v.keys)+1 {
+				return "inner arity mismatch"
+			}
+			for i, c := range v.children {
+				var l, h *int32
+				if i > 0 {
+					l = &v.keys[i-1]
+				} else {
+					l = lo
+				}
+				if i < len(v.keys) {
+					h = &v.keys[i]
+				} else {
+					h = hi
+				}
+				if msg := walk(c, l, h); msg != "" {
+					return msg
+				}
+			}
+		}
+		return ""
+	}
+	if msg := walk(t.root, nil, nil); msg != "" {
+		return msg
+	}
+	if count != t.size {
+		return "size mismatch"
+	}
+	// The leaf chain visits every key in order.
+	chain := 0
+	for l := firstLeaf; l != nil; l = l.next {
+		chain += len(l.keys)
+	}
+	if firstLeaf != nil && chain != t.size {
+		return "leaf chain incomplete"
+	}
+	return ""
+}

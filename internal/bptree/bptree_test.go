@@ -1,0 +1,193 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("empty tree has size")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Error("empty tree found a key")
+	}
+	if !tr.Range(0, 100, func(int32, int32) bool { t.Error("callback on empty"); return true }) {
+		t.Error("empty Range returned false")
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestInsertGetOverwrite(t *testing.T) {
+	tr := New()
+	tr.Insert(10, 100)
+	tr.Insert(5, 50)
+	tr.Insert(10, 101) // overwrite
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if v, ok := tr.Get(10); !ok || v != 101 {
+		t.Errorf("Get(10) = %d,%v", v, ok)
+	}
+	if v, ok := tr.Get(5); !ok || v != 50 {
+		t.Errorf("Get(5) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Get(7); ok {
+		t.Error("Get(7) found phantom key")
+	}
+}
+
+func TestRandomizedInsertAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		tr := New()
+		ref := make(map[int32]int32)
+		n := rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			k := int32(rng.Intn(500))
+			v := int32(rng.Intn(10000))
+			tr.Insert(k, v)
+			ref[k] = v
+		}
+		if msg := tr.CheckInvariants(); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, tr.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get(k); !ok || got != v {
+				t.Fatalf("trial %d: Get(%d) = %d,%v want %d", trial, k, got, ok, v)
+			}
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New()
+	ref := make(map[int32]int32)
+	for i := 0; i < 3000; i++ {
+		k := int32(rng.Intn(1000))
+		tr.Insert(k, k*2)
+		ref[k] = k * 2
+	}
+	var keys []int32
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	for q := 0; q < 100; q++ {
+		lo := int32(rng.Intn(1100)) - 50
+		hi := lo + int32(rng.Intn(300))
+		var want []int32
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		var got []int32
+		tr.Range(lo, hi, func(k, v int32) bool {
+			if v != k*2 {
+				t.Fatalf("Range value wrong for key %d", k)
+			}
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("Range[%d,%d]: %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Range order wrong at %d", i)
+			}
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int32(0); i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	count := 0
+	completed := tr.Range(0, 99, func(int32, int32) bool {
+		count++
+		return count < 5
+	})
+	if completed || count != 5 {
+		t.Errorf("early stop: completed=%v count=%d", completed, count)
+	}
+}
+
+func TestFromSorted(t *testing.T) {
+	var keys, values []int32
+	for i := int32(1); i <= 5000; i++ {
+		keys = append(keys, i*3)
+		values = append(values, i)
+	}
+	tr := FromSorted(keys, values)
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get(k); !ok || v != values[i] {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get(4); ok {
+		t.Error("found key in gap")
+	}
+	// Range across gaps.
+	count := 0
+	tr.Range(7, 30, func(k, v int32) bool { count++; return true })
+	if count != 8 { // 9,12,...,30
+		t.Errorf("gap Range count = %d, want 8", count)
+	}
+	// Inserts after bulk load still work.
+	tr.Insert(4, 999)
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	if v, ok := tr.Get(4); !ok || v != 999 {
+		t.Error("post-bulk insert lost")
+	}
+}
+
+func TestFromSortedValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length-mismatch": func() { FromSorted([]int32{1, 2}, []int32{1}) },
+		"not-increasing":  func() { FromSorted([]int32{1, 1}, []int32{1, 2}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+	empty := FromSorted(nil, nil)
+	if empty.Len() != 0 {
+		t.Error("empty FromSorted wrong")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	tr := New()
+	for i := int32(0); i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	if tr.MemoryBytes() < 8000 {
+		t.Errorf("MemoryBytes = %d, implausibly small", tr.MemoryBytes())
+	}
+}

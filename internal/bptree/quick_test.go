@@ -1,0 +1,76 @@
+package bptree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickTreeEqualsMap: after arbitrary inserts, the tree agrees with
+// a reference map on membership, values and invariants.
+func TestQuickTreeEqualsMap(t *testing.T) {
+	f := func(pairs []uint32) bool {
+		tr := New()
+		ref := make(map[int32]int32)
+		for _, p := range pairs {
+			k := int32(p & 0x3ff)
+			v := int32(p >> 10)
+			tr.Insert(k, v)
+			ref[k] = v
+		}
+		if tr.CheckInvariants() != "" || tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRangeIsSortedAndComplete: Range yields exactly the reference
+// keys in ascending order, for arbitrary bounds.
+func TestQuickRangeIsSortedAndComplete(t *testing.T) {
+	f := func(pairs []uint32, lo16, hi16 uint16) bool {
+		tr := New()
+		ref := make(map[int32]bool)
+		for _, p := range pairs {
+			k := int32(p & 0x3ff)
+			tr.Insert(k, k)
+			ref[k] = true
+		}
+		lo, hi := int32(lo16&0x3ff), int32(hi16&0x3ff)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want []int32
+		for k := range ref {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int32
+		tr.Range(lo, hi, func(k, _ int32) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/rtree"
+	"repro/internal/spatialgrid"
+)
+
+// SpatialBackend selects the 3D point index behind 3DReach (Replicate
+// policy). The paper notes the R-tree "can be replaced by another
+// structure as long as it is able to index the three-dimensional space"
+// (§7.2); rrbench's ablation-3d compares the three.
+type SpatialBackend int
+
+const (
+	// BackendRTree is the paper's choice: an STR-bulk-loaded 3D R-tree.
+	BackendRTree SpatialBackend = iota
+	// BackendKDTree is a balanced k-d tree (space-oriented partitioning).
+	BackendKDTree
+	// BackendGrid is a uniform 3D grid.
+	BackendGrid
+)
+
+// String implements fmt.Stringer.
+func (b SpatialBackend) String() string {
+	switch b {
+	case BackendRTree:
+		return "rtree"
+	case BackendKDTree:
+		return "kdtree"
+	case BackendGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("SpatialBackend(%d)", int(b))
+	}
+}
+
+// pointIndex3 abstracts "is there any indexed 3D point inside this box?"
+// — the only primitive point-based 3DReach needs.
+type pointIndex3 interface {
+	AnyInBox(q geom.Box3) bool
+	MemoryBytes() int64
+}
+
+// point3 is the backend-neutral input record.
+type point3 struct {
+	x, y, z float64
+	id      int32
+}
+
+// buildPointIndex3 constructs the selected backend over the points.
+func buildPointIndex3(pts []point3, backend SpatialBackend, fanout int) pointIndex3 {
+	switch backend {
+	case BackendKDTree:
+		kpts := make([]kdtree.Point, len(pts))
+		for i, p := range pts {
+			kpts[i] = kdtree.Point{X: p.x, Y: p.y, Z: p.z, ID: p.id}
+		}
+		return kdtreeIndex{kdtree.Build(kpts, 3)}
+	case BackendGrid:
+		gpts := make([]spatialgrid.Point, len(pts))
+		for i, p := range pts {
+			gpts[i] = spatialgrid.Point{X: p.x, Y: p.y, Z: p.z, ID: p.id}
+		}
+		return gridIndex{spatialgrid.New(gpts, 0)}
+	default:
+		entries := make([]rtree.Entry[geom.Box3], len(pts))
+		for i, p := range pts {
+			entries[i] = rtree.Entry[geom.Box3]{
+				Box: geom.Box3FromPoint(geom.Pt3(p.x, p.y, p.z)),
+				ID:  p.id,
+			}
+		}
+		t := rtree.BulkLoad(entries, fanout)
+		t.SetLeafBoundBytes(24)
+		return rtreeIndex{t}
+	}
+}
+
+type rtreeIndex struct{ t *rtree.Tree[geom.Box3] }
+
+func (r rtreeIndex) AnyInBox(q geom.Box3) bool {
+	_, ok := r.t.SearchAny(q)
+	return ok
+}
+
+func (r rtreeIndex) MemoryBytes() int64 { return r.t.MemoryBytes() }
+
+type kdtreeIndex struct{ t *kdtree.Tree }
+
+func (k kdtreeIndex) AnyInBox(q geom.Box3) bool {
+	return !k.t.SearchBox3(q, func(kdtree.Point) bool { return false })
+}
+
+func (k kdtreeIndex) MemoryBytes() int64 { return k.t.MemoryBytes() }
+
+type gridIndex struct{ g *spatialgrid.Grid }
+
+func (g gridIndex) AnyInBox(q geom.Box3) bool {
+	return !g.g.SearchBox3(q, func(spatialgrid.Point) bool { return false })
+}
+
+func (g gridIndex) MemoryBytes() int64 { return g.g.MemoryBytes() }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Method enumerates the RangeReach evaluation methods of the paper's
+// experimental analysis (§6.1).
+type Method int
+
+const (
+	// MethodSpaReachBFL is the spatial-first baseline with BFL probes.
+	MethodSpaReachBFL Method = iota
+	// MethodSpaReachINT is the spatial-first baseline with interval-label probes.
+	MethodSpaReachINT
+	// MethodGeoReach is the SPA-Graph state of the art.
+	MethodGeoReach
+	// MethodSocReach is the social-first method.
+	MethodSocReach
+	// MethodThreeDReach is the point-based 3D transformation.
+	MethodThreeDReach
+	// MethodThreeDReachRev is the line-based variant on reversed labels.
+	MethodThreeDReachRev
+	// MethodSpaReachPLL is the spatial-first baseline with 2-hop
+	// (pruned landmark labeling) probes, the first variant of [47].
+	MethodSpaReachPLL
+	// MethodSpaReachFeline is the spatial-first baseline with Feline
+	// probes, the second variant of [47].
+	MethodSpaReachFeline
+	// MethodSpaReachGRAIL is the spatial-first baseline with GRAIL
+	// probes (paper §7.1).
+	MethodSpaReachGRAIL
+)
+
+// AllMethods lists the methods of the paper's own evaluation (§6.1), in
+// its reporting order. The Tables 4/5 harness iterates exactly these.
+var AllMethods = []Method{
+	MethodSpaReachBFL,
+	MethodSpaReachINT,
+	MethodGeoReach,
+	MethodSocReach,
+	MethodThreeDReach,
+	MethodThreeDReachRev,
+}
+
+// ExtendedMethods lists the additional spatial-first variants the paper
+// cites from [47] and §7.1 but does not re-evaluate; rrbench's
+// ablation-spareach compares them against the paper's two.
+var ExtendedMethods = []Method{
+	MethodSpaReachPLL,
+	MethodSpaReachFeline,
+	MethodSpaReachGRAIL,
+}
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodSpaReachBFL:
+		return "SpaReach-BFL"
+	case MethodSpaReachINT:
+		return "SpaReach-INT"
+	case MethodGeoReach:
+		return "GeoReach"
+	case MethodSocReach:
+		return "SocReach"
+	case MethodThreeDReach:
+		return "3DReach"
+	case MethodThreeDReachRev:
+		return "3DReach-Rev"
+	case MethodSpaReachPLL:
+		return "SpaReach-PLL"
+	case MethodSpaReachFeline:
+		return "SpaReach-Feline"
+	case MethodSpaReachGRAIL:
+		return "SpaReach-GRAIL"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SupportsMBR reports whether the method has an MBR-policy variant: the
+// paper's §6.2 discussion excludes SocReach (no spatial index) and
+// GeoReach (non-MBR by design).
+func (m Method) SupportsMBR() bool {
+	switch m {
+	case MethodSocReach, MethodGeoReach:
+		return false
+	default:
+		return true
+	}
+}
+
+// BuildOptions bundles the per-method knobs for BuildMethod.
+type BuildOptions struct {
+	// Policy is the SCC spatial policy for the methods that support it.
+	Policy dataset.SCCPolicy
+	// SpaReach carries the spatial-first options (Policy is overridden).
+	SpaReach SpaReachOptions
+	// ThreeD carries the 3DReach options (Policy is overridden).
+	ThreeD ThreeDOptions
+	// GeoReach carries the SPA-Graph options.
+	GeoReach GeoReachOptions
+	// SocReach carries the social-first options.
+	SocReach SocReachOptions
+}
+
+// BuildResult is a constructed engine plus its offline costs, the raw
+// material of Tables 4 and 5.
+type BuildResult struct {
+	Engine    Engine
+	Method    Method
+	Policy    dataset.SCCPolicy
+	BuildTime time.Duration
+	Bytes     int64
+}
+
+// BuildMethod constructs the engine for a method, timing the build. It
+// returns an error for unsupported (method, policy) combinations instead
+// of silently falling back.
+func BuildMethod(prep *dataset.Prepared, m Method, opts BuildOptions) (BuildResult, error) {
+	if opts.Policy == dataset.MBR && !m.SupportsMBR() {
+		return BuildResult{}, fmt.Errorf("core: %v has no MBR variant", m)
+	}
+	start := time.Now()
+	var e Engine
+	switch m {
+	case MethodSpaReachBFL:
+		so := opts.SpaReach
+		so.Policy = opts.Policy
+		e = NewSpaReachBFL(prep, so)
+	case MethodSpaReachINT:
+		so := opts.SpaReach
+		so.Policy = opts.Policy
+		e = NewSpaReachINT(prep, so)
+	case MethodGeoReach:
+		e = NewGeoReach(prep, opts.GeoReach)
+	case MethodSocReach:
+		e = NewSocReach(prep, opts.SocReach)
+	case MethodThreeDReach:
+		to := opts.ThreeD
+		to.Policy = opts.Policy
+		e = NewThreeDReach(prep, to)
+	case MethodThreeDReachRev:
+		to := opts.ThreeD
+		to.Policy = opts.Policy
+		e = NewThreeDReachRev(prep, to)
+	case MethodSpaReachPLL:
+		so := opts.SpaReach
+		so.Policy = opts.Policy
+		e = NewSpaReachPLL(prep, so)
+	case MethodSpaReachFeline:
+		so := opts.SpaReach
+		so.Policy = opts.Policy
+		e = NewSpaReachFeline(prep, so)
+	case MethodSpaReachGRAIL:
+		so := opts.SpaReach
+		so.Policy = opts.Policy
+		e = NewSpaReachGRAIL(prep, so)
+	default:
+		return BuildResult{}, fmt.Errorf("core: unknown method %d", int(m))
+	}
+	return BuildResult{
+		Engine:    e,
+		Method:    m,
+		Policy:    opts.Policy,
+		BuildTime: time.Since(start),
+		Bytes:     e.MemoryBytes(),
+	}, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/labeling"
+	"repro/internal/rtree"
+)
+
+// DynamicThreeDReach is the updatable variant of 3DReach, realizing the
+// paper's future-work direction of handling network updates (§8). It
+// combines the incremental interval labeling (labeling.Dynamic) with the
+// R-tree's dynamic inserts: new venues become new 3D points, new edges
+// only touch label sets, and queries stay exactly the 3DReach cuboid
+// searches — post-order numbers never change once assigned, so existing
+// R-tree entries remain valid forever.
+//
+// The engine operates on the SCC condensation of the initial network
+// (Replicate policy). Edges that would merge two components — i.e.
+// create a new cycle — are rejected; re-prepare and rebuild to absorb
+// them, as in the static pipeline.
+type DynamicThreeDReach struct {
+	dl   *labeling.Dynamic
+	tree *rtree.Tree[geom.Box3]
+
+	// comp maps original vertices (including ones added later) to DAG
+	// component ids.
+	comp []int32
+	n    int // number of original vertices
+}
+
+// NewDynamicThreeDReach builds the updatable engine over the prepared
+// network.
+func NewDynamicThreeDReach(prep *dataset.Prepared, opts ThreeDOptions) *DynamicThreeDReach {
+	e := &DynamicThreeDReach{
+		dl:   labeling.NewDynamic(prep.DAG, labeling.Options{Forest: opts.Forest}),
+		comp: append([]int32(nil), prep.Comp...),
+		n:    prep.Net.NumVertices(),
+	}
+	var entries []rtree.Entry[geom.Box3]
+	for v, s := range prep.Net.Spatial {
+		if s {
+			c := prep.CompOf(v)
+			z := float64(e.dl.PostOf(int(c)))
+			entries = append(entries, rtree.Entry[geom.Box3]{
+				Box: geom.Box3FromRect(prep.Net.GeometryOf(v), z, z),
+				ID:  int32(v),
+			})
+		}
+	}
+	e.tree = rtree.BulkLoad(entries, opts.Fanout)
+	if !prep.Net.HasExtents() {
+		e.tree.SetLeafBoundBytes(24)
+	}
+	return e
+}
+
+// NumVertices returns the current number of original vertices.
+func (e *DynamicThreeDReach) NumVertices() int { return e.n }
+
+// AddUser appends a social vertex and returns its id.
+func (e *DynamicThreeDReach) AddUser() int {
+	c := e.dl.AddVertex()
+	e.comp = append(e.comp, int32(c))
+	e.n++
+	return e.n - 1
+}
+
+// AddVenue appends a spatial vertex at (x, y) and returns its id.
+func (e *DynamicThreeDReach) AddVenue(x, y float64) int {
+	c := e.dl.AddVertex()
+	e.comp = append(e.comp, int32(c))
+	e.n++
+	v := e.n - 1
+	z := float64(e.dl.PostOf(c))
+	e.tree.Insert(rtree.Entry[geom.Box3]{
+		Box: geom.Box3FromPoint(geom.Pt3(x, y, z)),
+		ID:  int32(v),
+	})
+	return v
+}
+
+// AddEdge inserts the directed edge (u, v) between original vertices —
+// a follow or check-in. Edges inside one component are no-ops; edges
+// that would create a new cycle are rejected with an error.
+func (e *DynamicThreeDReach) AddEdge(u, v int) error {
+	if u < 0 || u >= e.n || v < 0 || v >= e.n {
+		return fmt.Errorf("core: edge (%d,%d) out of range [0,%d)", u, v, e.n)
+	}
+	cu, cv := e.comp[u], e.comp[v]
+	if cu == cv {
+		return nil
+	}
+	return e.dl.AddEdge(int(cu), int(cv))
+}
+
+// Name implements Engine.
+func (e *DynamicThreeDReach) Name() string { return "3DReach-Dynamic" }
+
+// RangeReach implements Engine with the standard 3DReach evaluation:
+// one cuboid query per current label of the query vertex.
+func (e *DynamicThreeDReach) RangeReach(v int, r geom.Rect) bool {
+	if v < 0 || v >= e.n {
+		panic(fmt.Sprintf("core: vertex %d out of range [0,%d)", v, e.n))
+	}
+	for _, iv := range e.dl.Labels(int(e.comp[v])) {
+		q := geom.Box3FromRect(r, float64(iv.Lo), float64(iv.Hi))
+		if _, ok := e.tree.SearchAny(q); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MemoryBytes implements Engine.
+func (e *DynamicThreeDReach) MemoryBytes() int64 {
+	var labels int64
+	labels = e.dl.TotalLabels() * 8
+	return labels + e.tree.MemoryBytes() + int64(4*len(e.comp))
+}
+
+var _ Engine = (*DynamicThreeDReach)(nil)

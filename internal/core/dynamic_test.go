@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// dynamicMirror re-creates the ground truth network from scratch so the
+// dynamic engine can be validated after every batch of updates.
+type dynamicMirror struct {
+	edges   [][2]int
+	spatial []bool
+	points  []geom.Point
+}
+
+func newDynamicMirror(net *dataset.Network) *dynamicMirror {
+	m := &dynamicMirror{
+		spatial: append([]bool(nil), net.Spatial...),
+		points:  append([]geom.Point(nil), net.Points...),
+	}
+	net.Graph.Edges(func(u, v int) { m.edges = append(m.edges, [2]int{u, v}) })
+	return m
+}
+
+func (m *dynamicMirror) network() *dataset.Network {
+	return &dataset.Network{
+		Name:    "mirror",
+		Graph:   graph.FromEdges(len(m.spatial), m.edges),
+		Spatial: m.spatial,
+		Points:  m.points,
+	}
+}
+
+func TestDynamicThreeDReachInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 8; trial++ {
+		net := randomNetwork(rng, 5+rng.Intn(15), 2+rng.Intn(10), true)
+		prep := dataset.Prepare(net)
+		e := NewDynamicThreeDReach(prep, ThreeDOptions{})
+		m := newDynamicMirror(net)
+
+		verify := func(step int) {
+			truth := NewNaiveBFS(m.network())
+			for q := 0; q < 10; q++ {
+				v := rng.Intn(len(m.spatial))
+				r := randomRegion(rng)
+				want := truth.RangeReach(v, r)
+				if got := e.RangeReach(v, r); got != want {
+					t.Fatalf("trial %d step %d: RangeReach(%d, %v) = %v, want %v",
+						trial, step, v, r, got, want)
+				}
+			}
+		}
+		verify(-1)
+
+		for step := 0; step < 30; step++ {
+			switch rng.Intn(5) {
+			case 0:
+				u := e.AddUser()
+				m.spatial = append(m.spatial, false)
+				m.points = append(m.points, geom.Point{})
+				if u != len(m.spatial)-1 {
+					t.Fatal("AddUser id mismatch")
+				}
+			case 1:
+				p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+				v := e.AddVenue(p.X, p.Y)
+				m.spatial = append(m.spatial, true)
+				m.points = append(m.points, p)
+				if v != len(m.spatial)-1 {
+					t.Fatal("AddVenue id mismatch")
+				}
+			default:
+				u, v := rng.Intn(len(m.spatial)), rng.Intn(len(m.spatial))
+				if err := e.AddEdge(u, v); err == nil {
+					m.edges = append(m.edges, [2]int{u, v})
+				}
+				// Rejected edges (would merge components) are simply not
+				// mirrored; correctness of the remaining network is what
+				// matters.
+			}
+			if step%6 == 0 {
+				verify(step)
+			}
+		}
+		verify(999)
+	}
+}
+
+func TestDynamicThreeDReachCycleRejection(t *testing.T) {
+	// Two singleton users: 0 -> 1 accepted, then 1 -> 0 must be rejected.
+	net := &dataset.Network{
+		Name:    "pair",
+		Graph:   graph.FromEdges(2, nil),
+		Spatial: []bool{false, false},
+		Points:  make([]geom.Point, 2),
+	}
+	e := NewDynamicThreeDReach(dataset.Prepare(net), ThreeDOptions{})
+	if err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddEdge(1, 0); err == nil {
+		t.Error("cycle-creating edge accepted")
+	}
+	if err := e.AddEdge(0, 7); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestDynamicThreeDReachIntraSCCEdgeNoOp(t *testing.T) {
+	// An edge between two members of the same SCC must be accepted as a
+	// no-op (it cannot change reachability).
+	net := &dataset.Network{
+		Name:    "scc",
+		Graph:   graph.FromEdges(3, [][2]int{{0, 1}, {1, 0}, {1, 2}}),
+		Spatial: []bool{false, false, true},
+		Points:  []geom.Point{{}, {}, geom.Pt(5, 5)},
+	}
+	e := NewDynamicThreeDReach(dataset.Prepare(net), ThreeDOptions{})
+	if err := e.AddEdge(1, 0); err != nil {
+		t.Fatalf("intra-SCC edge rejected: %v", err)
+	}
+	if !e.RangeReach(0, geom.NewRect(0, 0, 10, 10)) {
+		t.Error("query broken after no-op edge")
+	}
+}
+
+func TestDynamicThreeDReachGrowsFromEmpty(t *testing.T) {
+	// Start from a single-vertex network and build a small geosocial
+	// graph entirely through updates.
+	net := &dataset.Network{
+		Name:    "seed",
+		Graph:   graph.FromEdges(1, nil),
+		Spatial: []bool{false},
+		Points:  make([]geom.Point, 1),
+	}
+	e := NewDynamicThreeDReach(dataset.Prepare(net), ThreeDOptions{})
+	alice := 0
+	bob := e.AddUser()
+	cafe := e.AddVenue(10, 10)
+	gym := e.AddVenue(90, 90)
+
+	if e.RangeReach(alice, geom.NewRect(0, 0, 100, 100)) {
+		t.Error("alice reaches venues before any edges")
+	}
+	if err := e.AddEdge(alice, bob); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddEdge(bob, cafe); err != nil {
+		t.Fatal(err)
+	}
+	if !e.RangeReach(alice, geom.NewRect(0, 0, 20, 20)) {
+		t.Error("alice should reach the cafe via bob")
+	}
+	if e.RangeReach(alice, geom.NewRect(80, 80, 100, 100)) {
+		t.Error("alice should not reach the gym yet")
+	}
+	if err := e.AddEdge(alice, gym); err != nil {
+		t.Fatal(err)
+	}
+	if !e.RangeReach(alice, geom.NewRect(80, 80, 100, 100)) {
+		t.Error("alice should reach the gym directly")
+	}
+	if e.RangeReach(bob, geom.NewRect(80, 80, 100, 100)) {
+		t.Error("bob should not reach the gym")
+	}
+	if e.MemoryBytes() <= 0 || e.Name() == "" || e.NumVertices() != 4 {
+		t.Error("engine metadata wrong")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// withExtents gives a random subset of the network's spatial vertices a
+// rectangular extent around their point (paper footnote 1).
+func withExtents(rng *rand.Rand, net *dataset.Network) *dataset.Network {
+	net.Extents = make([]geom.Rect, net.NumVertices())
+	for v, s := range net.Spatial {
+		if s && rng.Float64() < 0.5 {
+			p := net.Points[v]
+			w := 1 + rng.Float64()*15
+			h := 1 + rng.Float64()*15
+			net.Extents[v] = geom.NewRect(p.X-w/2, p.Y-h/2, p.X+w/2, p.Y+h/2)
+		}
+	}
+	return net
+}
+
+func TestAllEnginesAgreeWithExtendedGeometries(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	for trial := 0; trial < 15; trial++ {
+		var net *dataset.Network
+		if trial%2 == 0 {
+			net = withExtents(rng, randomNetwork(rng, 3+rng.Intn(20), 1+rng.Intn(15), true))
+		} else {
+			net = withExtents(rng, spatialCycleNetwork(rng, 5+rng.Intn(25)))
+		}
+		if !net.HasExtents() {
+			continue // the random subset may be empty; nothing new to test
+		}
+		prep := dataset.Prepare(net)
+		truth := NewNaiveBFS(net)
+		engines := buildAll(t, prep)
+		engines = append(engines, NewDynamicThreeDReach(prep, ThreeDOptions{}))
+		for q := 0; q < 25; q++ {
+			v := rng.Intn(net.NumVertices())
+			r := randomRegion(rng)
+			want := truth.RangeReach(v, r)
+			for _, e := range engines {
+				if got := e.RangeReach(v, r); got != want {
+					t.Fatalf("trial %d: %s(%d, %v) = %v, want %v (extended geometries)",
+						trial, e.Name(), v, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExtendedGeometryWitnessSemantics(t *testing.T) {
+	// A single venue with a large extent: a region that intersects the
+	// extent without containing its center must be positive.
+	net := &dataset.Network{
+		Name:    "mall",
+		Graph:   graph.FromEdges(2, [][2]int{{0, 1}}),
+		Spatial: []bool{false, true},
+		Points:  []geom.Point{{}, geom.Pt(50, 50)},
+		Extents: []geom.Rect{{}, geom.NewRect(40, 40, 60, 60)},
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prep := dataset.Prepare(net)
+	truth := NewNaiveBFS(net)
+	engines := buildAll(t, prep)
+
+	cases := []struct {
+		r    geom.Rect
+		want bool
+	}{
+		{geom.NewRect(58, 58, 70, 70), true},  // clips the corner, misses the center
+		{geom.NewRect(61, 61, 70, 70), false}, // just outside
+		{geom.NewRect(45, 45, 55, 55), true},  // inside the extent
+		{geom.NewRect(0, 0, 40, 40), true},    // touches the boundary
+	}
+	for _, tc := range cases {
+		if got := truth.RangeReach(0, tc.r); got != tc.want {
+			t.Fatalf("naive: RangeReach(0, %v) = %v, want %v", tc.r, got, tc.want)
+		}
+		for _, e := range engines {
+			if got := e.RangeReach(0, tc.r); got != tc.want {
+				t.Errorf("%s: RangeReach(0, %v) = %v, want %v", e.Name(), tc.r, got, tc.want)
+			}
+		}
+	}
+}

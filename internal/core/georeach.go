@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/georeach"
+)
+
+// GeoReach wraps the SPA-Graph method of Sarwat and Sun (§2.2.2) behind
+// the Engine interface. GeoReach always operates under the non-MBR
+// (Replicate) principle, by design.
+type GeoReach struct {
+	idx *georeach.Index
+}
+
+// GeoReachOptions configures NewGeoReach.
+type GeoReachOptions struct {
+	// Params are the SPA-Graph construction parameters; zero values
+	// select the documented defaults.
+	Params georeach.Params
+}
+
+// NewGeoReach builds the GeoReach engine.
+func NewGeoReach(prep *dataset.Prepared, opts GeoReachOptions) *GeoReach {
+	return &GeoReach{idx: georeach.Build(prep, opts.Params)}
+}
+
+// Name implements Engine.
+func (e *GeoReach) Name() string { return "GeoReach" }
+
+// RangeReach implements Engine.
+func (e *GeoReach) RangeReach(v int, r geom.Rect) bool {
+	return e.idx.RangeReach(v, r)
+}
+
+// MemoryBytes implements Engine.
+func (e *GeoReach) MemoryBytes() int64 { return e.idx.MemoryBytes() }
+
+// Index exposes the SPA-Graph for stats reporting.
+func (e *GeoReach) Index() *georeach.Index { return e.idx }
+
+var _ Engine = (*GeoReach)(nil)

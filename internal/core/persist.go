@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bfl"
+	"repro/internal/dataset"
+	"repro/internal/georeach"
+	"repro/internal/labeling"
+)
+
+// Engine persistence: SaveEngine serializes the expensive index state of
+// an engine (interval labels, BFL filters or the SPA-Graph); LoadEngine
+// rebuilds the full engine over the same prepared network, bulk-loading
+// the spatial structures from the network — which is cheap compared to
+// labeling construction. The Feline/PLL/GRAIL variants are not
+// persisted: their builds are fast relative to loading their state.
+//
+// Format: magic "RRIX" | version u8 | method u8 | policy u8 | payload.
+
+var engineMagic = [4]byte{'R', 'R', 'I', 'X'}
+
+const engineVersion = 1
+
+// ErrNotPersistable reports an engine type without a save format.
+var ErrNotPersistable = fmt.Errorf("core: engine is not persistable")
+
+// SaveEngine writes e to w. Supported: ThreeDReach, ThreeDReachRev,
+// SocReach, SpaReach-BFL, SpaReach-INT and GeoReach; others return
+// ErrNotPersistable.
+func SaveEngine(w io.Writer, e Engine) error {
+	bw := bufio.NewWriter(w)
+	writeHeader := func(m Method, policy dataset.SCCPolicy) error {
+		if err := binary.Write(bw, binary.LittleEndian, engineMagic); err != nil {
+			return err
+		}
+		return binary.Write(bw, binary.LittleEndian,
+			[3]uint8{engineVersion, uint8(m), uint8(policy)})
+	}
+
+	var err error
+	switch eng := e.(type) {
+	case *ThreeDReach:
+		if err = writeHeader(MethodThreeDReach, eng.policy); err == nil {
+			_, err = eng.l.WriteTo(bw)
+		}
+	case *ThreeDReachRev:
+		if err = writeHeader(MethodThreeDReachRev, eng.policy); err == nil {
+			_, err = eng.rev.WriteTo(bw)
+		}
+	case *SocReach:
+		flags := uint8(0)
+		if eng.post != nil {
+			flags = 1
+		}
+		if err = writeHeader(MethodSocReach, dataset.Replicate); err == nil {
+			if err = binary.Write(bw, binary.LittleEndian, flags); err == nil {
+				_, err = eng.l.WriteTo(bw)
+			}
+		}
+	case *GeoReach:
+		if err = writeHeader(MethodGeoReach, dataset.Replicate); err == nil {
+			_, err = eng.idx.WriteTo(bw)
+		}
+	case *SpaReach:
+		switch reach := eng.reach.(type) {
+		case *labeling.Labeling:
+			if err = writeHeader(MethodSpaReachINT, eng.policy); err == nil {
+				_, err = reach.WriteTo(bw)
+			}
+		case *bfl.Index:
+			if err = writeHeader(MethodSpaReachBFL, eng.policy); err == nil {
+				_, err = reach.WriteTo(bw)
+			}
+		default:
+			return fmt.Errorf("%w: SpaReach backend %T", ErrNotPersistable, reach)
+		}
+	default:
+		return fmt.Errorf("%w: %T", ErrNotPersistable, e)
+	}
+	if err != nil {
+		return fmt.Errorf("core: saving engine: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadEngine reads an engine written by SaveEngine and attaches it to
+// prep, which must describe the same network the engine was built over.
+// The options supply the spatial-side knobs (fan-out, backend); the
+// persisted reachability state is used as-is.
+func LoadEngine(r io.Reader, prep *dataset.Prepared, opts BuildOptions) (BuildResult, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return BuildResult{}, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if magic != engineMagic {
+		return BuildResult{}, fmt.Errorf("core: bad magic %q", magic)
+	}
+	var header [3]uint8
+	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
+		return BuildResult{}, fmt.Errorf("core: reading header: %w", err)
+	}
+	if header[0] != engineVersion {
+		return BuildResult{}, fmt.Errorf("core: unsupported version %d", header[0])
+	}
+	m := Method(header[1])
+	policy := dataset.SCCPolicy(header[2])
+
+	checkSize := func(l *labeling.Labeling) error {
+		if l.NumVertices() != prep.NumComponents() {
+			return fmt.Errorf("core: labeling has %d vertices, network has %d components",
+				l.NumVertices(), prep.NumComponents())
+		}
+		return nil
+	}
+
+	var e Engine
+	switch m {
+	case MethodThreeDReach:
+		l, err := labeling.ReadLabeling(br)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		if err := checkSize(l); err != nil {
+			return BuildResult{}, err
+		}
+		to := opts.ThreeD
+		to.Policy = policy
+		e = NewThreeDReachWithLabeling(prep, l, to)
+	case MethodThreeDReachRev:
+		rev, err := labeling.ReadLabeling(br)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		if err := checkSize(rev); err != nil {
+			return BuildResult{}, err
+		}
+		to := opts.ThreeD
+		to.Policy = policy
+		e = NewThreeDReachRevWithLabeling(prep, rev, to)
+	case MethodSocReach:
+		var flags uint8
+		if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+			return BuildResult{}, fmt.Errorf("core: reading flags: %w", err)
+		}
+		l, err := labeling.ReadLabeling(br)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		if err := checkSize(l); err != nil {
+			return BuildResult{}, err
+		}
+		so := opts.SocReach
+		so.UseBPTree = flags&1 != 0
+		e = NewSocReachWithLabeling(prep, l, so)
+	case MethodSpaReachINT:
+		l, err := labeling.ReadLabeling(br)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		if err := checkSize(l); err != nil {
+			return BuildResult{}, err
+		}
+		so := opts.SpaReach
+		so.Policy = policy
+		e = newSpaReach("SpaReach-INT", prep, l, so)
+	case MethodSpaReachBFL:
+		idx, err := bfl.Read(prep.DAG, br)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		so := opts.SpaReach
+		so.Policy = policy
+		e = newSpaReach("SpaReach-BFL", prep, idx, so)
+	case MethodGeoReach:
+		idx, err := georeach.Read(prep, br)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		e = &GeoReach{idx: idx}
+	default:
+		return BuildResult{}, fmt.Errorf("core: method %v is not persistable", m)
+	}
+	return BuildResult{
+		Engine: e,
+		Method: m,
+		Policy: policy,
+		Bytes:  e.MemoryBytes(),
+	}, nil
+}

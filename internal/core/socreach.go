@@ -1,0 +1,130 @@
+package core
+
+import (
+	"repro/internal/bptree"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/labeling"
+)
+
+// SocReach is the social-first method (paper §4.1): the interval-based
+// labeling enumerates the descendant set D(v) of the query vertex, and
+// every spatial descendant is tested against the region until a witness
+// appears. No spatial index is involved — the paper excludes SocReach
+// from the MBR-policy discussion for exactly this reason (§6.2), so the
+// engine always operates under the Replicate policy.
+type SocReach struct {
+	prep *dataset.Prepared
+	l    *labeling.Labeling
+	post *bptree.Tree // optional B+-tree over post-order numbers
+}
+
+// SocReachOptions configures NewSocReach.
+type SocReachOptions struct {
+	// Forest is the spanning-forest policy of the labeling.
+	Forest graph.ForestPolicy
+	// UseBPTree evaluates the per-label range scans through a B+-tree
+	// over post(v) instead of the plain post-order array — the
+	// alternative §4.1 describes for networks with gaps in the
+	// post-order domain (rrbench's ablation-socreach compares the two).
+	UseBPTree bool
+	// SkipCompression keeps the labels as descendant singletons, for
+	// the compression ablation.
+	SkipCompression bool
+}
+
+// NewSocReach builds the SocReach engine.
+func NewSocReach(prep *dataset.Prepared, opts SocReachOptions) *SocReach {
+	l := labeling.Build(prep.DAG, labeling.Options{
+		Forest:          opts.Forest,
+		SkipCompression: opts.SkipCompression,
+	})
+	return NewSocReachWithLabeling(prep, l, opts)
+}
+
+// NewSocReachWithLabeling builds the engine around an existing labeling
+// of prep.DAG, e.g. one reloaded from disk.
+func NewSocReachWithLabeling(prep *dataset.Prepared, l *labeling.Labeling, opts SocReachOptions) *SocReach {
+	e := &SocReach{
+		prep: prep,
+		l:    l,
+	}
+	if opts.UseBPTree {
+		n := e.l.NumVertices()
+		keys := make([]int32, n)
+		values := make([]int32, n)
+		for p := 1; p <= n; p++ {
+			keys[p-1] = int32(p)
+			values[p-1] = e.l.VertexAt(int32(p))
+		}
+		e.post = bptree.FromSorted(keys, values)
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *SocReach) Name() string { return "SocReach" }
+
+// RangeReach implements Engine: every label interval [l, h] of the query
+// vertex is a relational range scan over the post-order domain (paper
+// Eq. 4.1); each spatial descendant's point is tested against r.
+func (e *SocReach) RangeReach(v int, r geom.Rect) bool {
+	src := int(e.prep.CompOf(v))
+	test := func(c int32) bool { // reports whether c witnesses the query
+		if !e.prep.HasSpatial[c] {
+			return false
+		}
+		for _, m := range e.prep.SpatialMembers[c] {
+			if e.prep.Witness(m, r) {
+				return true
+			}
+		}
+		return false
+	}
+	if e.post != nil {
+		for _, iv := range e.l.Labels[src] {
+			hit := false
+			e.post.Range(iv.Lo, iv.Hi, func(_, c int32) bool {
+				if test(c) {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	e.l.Descendants(src, func(c int32) bool {
+		if test(c) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MemoryBytes implements Engine: the labeling (plus the optional
+// B+-tree) is the whole index.
+func (e *SocReach) MemoryBytes() int64 {
+	total := e.l.MemoryBytes()
+	if e.post != nil {
+		total += e.post.MemoryBytes()
+	}
+	return total
+}
+
+// Labeling exposes the underlying labeling (stats and the Table 6
+// reporting reuse it).
+func (e *SocReach) Labeling() *labeling.Labeling { return e.l }
+
+var (
+	_ Engine = (*SocReach)(nil)
+	_ Engine = (*SpaReach)(nil)
+	_ Engine = (*NaiveBFS)(nil)
+)

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bfl"
+	"repro/internal/dataset"
+	"repro/internal/feline"
+	"repro/internal/geom"
+	"repro/internal/grail"
+	"repro/internal/graph"
+	"repro/internal/labeling"
+	"repro/internal/pll"
+	"repro/internal/rtree"
+)
+
+// SpaReach is the spatial-first approach (paper §2.2.1): a 2D R-tree
+// range query finds the spatial vertices inside the region and a
+// reachability index probes each candidate from the query vertex until a
+// witness is found. The reachability index is pluggable: BFL for
+// SpaReach-BFL, interval labels for SpaReach-INT (§6.1).
+type SpaReach struct {
+	name      string
+	prep      *dataset.Prepared
+	policy    dataset.SCCPolicy
+	reach     reachIndex
+	tree      *rtree.Tree[geom.Rect]
+	streaming bool
+
+	// scratch pools the materialized candidate sets so concurrent
+	// queries each get their own buffers without per-query allocation.
+	scratch sync.Pool
+}
+
+// spaScratch is one query's candidate buffers.
+type spaScratch struct {
+	candidates []int32
+	candBoxes  []geom.Rect
+}
+
+// SpaReachOptions configures NewSpaReachBFL / NewSpaReachINT.
+type SpaReachOptions struct {
+	// Policy selects the SCC spatial policy (default Replicate, the
+	// winner of Figure 5).
+	Policy dataset.SCCPolicy
+	// Fanout is the R-tree fan-out (0 = rtree.DefaultMaxEntries).
+	Fanout int
+	// BFLBits is the Bloom filter width for SpaReach-BFL (0 = default).
+	BFLBits int
+	// Forest is the spanning-forest policy for SpaReach-INT (the zero
+	// value is the DFS default).
+	Forest graph.ForestPolicy
+	// Streaming interleaves the two phases: reachability probes run
+	// inside the R-tree traversal and the query stops at the first
+	// witness instead of materializing the full candidate set. This is
+	// an *optimization beyond the paper's SpaReach* (the original
+	// algorithm of [47] materializes first, which is what makes it
+	// sensitive to spatial selectivity); rrbench's ablation-streaming
+	// quantifies the difference. Default false = faithful.
+	Streaming bool
+}
+
+// NewSpaReachBFL builds the SpaReach-BFL engine.
+func NewSpaReachBFL(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
+	idx := bfl.Build(prep.DAG, bfl.Options{Bits: opts.BFLBits})
+	return newSpaReach("SpaReach-BFL", prep, idx, opts)
+}
+
+// NewSpaReachINT builds the SpaReach-INT engine, which uses the paper's
+// interval-based labeling for the reachability probes.
+func NewSpaReachINT(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
+	l := labeling.Build(prep.DAG, labeling.Options{Forest: opts.Forest})
+	return newSpaReach("SpaReach-INT", prep, l, opts)
+}
+
+// NewSpaReachPLL builds the SpaReach-PLL engine, the 2-hop-labeled
+// spatial-first variant Sarwat and Sun evaluate in [47] (paper §2.2.1).
+func NewSpaReachPLL(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
+	return newSpaReach("SpaReach-PLL", prep, pll.Build(prep.DAG, pll.Options{}), opts)
+}
+
+// NewSpaReachFeline builds the SpaReach-Feline engine, the second
+// spatial-first variant of [47]: reachability probes through Feline's
+// two-topological-order dominance test with pruned-DFS fallback.
+func NewSpaReachFeline(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
+	return newSpaReach("SpaReach-Feline", prep, feline.Build(prep.DAG), opts)
+}
+
+// NewSpaReachGRAIL builds a spatial-first variant probing through GRAIL
+// randomized interval labels (paper §7.1).
+func NewSpaReachGRAIL(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
+	return newSpaReach("SpaReach-GRAIL", prep, grail.Build(prep.DAG, grail.Options{}), opts)
+}
+
+func newSpaReach(name string, prep *dataset.Prepared, reach reachIndex, opts SpaReachOptions) *SpaReach {
+	e := &SpaReach{
+		name: name, prep: prep, policy: opts.Policy,
+		reach: reach, streaming: opts.Streaming,
+	}
+	e.tree = buildSpatialTree(prep, opts.Policy, opts.Fanout)
+	e.scratch.New = func() any { return &spaScratch{} }
+	return e
+}
+
+// buildSpatialTree bulk-loads the 2D R-tree over the network's spatial
+// information: one point per spatial vertex under Replicate (entry id =
+// original vertex), or one rectangle per component with spatial members
+// under MBR (entry id = component).
+func buildSpatialTree(prep *dataset.Prepared, policy dataset.SCCPolicy, fanout int) *rtree.Tree[geom.Rect] {
+	var entries []rtree.Entry[geom.Rect]
+	if policy == dataset.MBR {
+		for c := range prep.Members {
+			if prep.HasSpatial[c] {
+				entries = append(entries, rtree.Entry[geom.Rect]{
+					Box: prep.CompMBR[c],
+					ID:  int32(c),
+				})
+			}
+		}
+	} else {
+		for v, s := range prep.Net.Spatial {
+			if s {
+				entries = append(entries, rtree.Entry[geom.Rect]{
+					Box: prep.Net.GeometryOf(v),
+					ID:  int32(v),
+				})
+			}
+		}
+	}
+	t := rtree.BulkLoad(entries, fanout)
+	if policy == dataset.Replicate && !prep.Net.HasExtents() {
+		t.SetLeafBoundBytes(16) // points, not rectangles
+	}
+	return t
+}
+
+// Name implements Engine.
+func (e *SpaReach) Name() string { return e.name }
+
+// RangeReach implements Engine following the SpaReach algorithm of [47]
+// (paper §2.2.1): first the spatial range query materializes every
+// spatial vertex inside the region, then one reachability probe runs per
+// candidate until a witness answers TRUE. The two phases are deliberate
+// — SpaReach's sensitivity to the spatial selectivity (paper §6.4) stems
+// from materializing the full candidate set before any graph work.
+func (e *SpaReach) RangeReach(v int, r geom.Rect) bool {
+	src := int(e.prep.CompOf(v))
+	if e.streaming {
+		return e.rangeReachStreaming(src, r)
+	}
+	s := e.scratch.Get().(*spaScratch)
+	defer e.scratch.Put(s)
+
+	// Phase 1: evaluate SRange(P, R).
+	s.candidates = s.candidates[:0]
+	s.candBoxes = s.candBoxes[:0]
+	e.tree.Search(geom.Rect(r), func(entry rtree.Entry[geom.Rect]) bool {
+		s.candidates = append(s.candidates, entry.ID)
+		if e.policy == dataset.MBR {
+			s.candBoxes = append(s.candBoxes, entry.Box)
+		}
+		return true
+	})
+
+	// Phase 2: GReach(G, v, u) per candidate, stopping at the first
+	// positive answer.
+	for i, id := range s.candidates {
+		if e.policy == dataset.MBR {
+			c := int(id)
+			if !e.reach.Reach(src, c) {
+				continue
+			}
+			// The MBR only approximates the component's points; confirm
+			// with the exact members unless it lies fully inside R.
+			if r.ContainsRect(s.candBoxes[i]) {
+				return true
+			}
+			for _, m := range e.prep.SpatialMembers[c] {
+				if e.prep.Witness(m, r) {
+					return true
+				}
+			}
+			continue
+		}
+		if e.reach.Reach(src, int(e.prep.CompOf(int(id)))) {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeReachStreaming is the optimized single-pass variant: probes run
+// inside the R-tree traversal, so the first witness aborts the spatial
+// search as well.
+func (e *SpaReach) rangeReachStreaming(src int, r geom.Rect) bool {
+	found := false
+	e.tree.Search(geom.Rect(r), func(entry rtree.Entry[geom.Rect]) bool {
+		if e.policy == dataset.MBR {
+			c := int(entry.ID)
+			if !e.reach.Reach(src, c) {
+				return true
+			}
+			if r.ContainsRect(entry.Box) {
+				found = true
+				return false
+			}
+			for _, m := range e.prep.SpatialMembers[c] {
+				if e.prep.Witness(m, r) {
+					found = true
+					return false
+				}
+			}
+			return true
+		}
+		if e.reach.Reach(src, int(e.prep.CompOf(int(entry.ID)))) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MemoryBytes implements Engine: reachability index plus 2D R-tree.
+func (e *SpaReach) MemoryBytes() int64 {
+	return e.reach.MemoryBytes() + e.tree.MemoryBytes()
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/labeling"
+	"repro/internal/rtree"
+)
+
+// ThreeDReach is the paper's primary contribution (§4.2): the geosocial
+// network and its interval-based labeling are modeled inside a
+// three-dimensional space whose first two dimensions are the original
+// plane and whose third is the post-order domain. Every spatial vertex u
+// becomes the 3D point (u.x, u.y, post(u)); a RangeReach(G, v, R) query
+// becomes one 3D range query per label [l, h] ∈ L(v) — the cuboid with
+// base R spanning [l, h] on the third axis. The query is positive iff
+// some cuboid contains a point.
+type ThreeDReach struct {
+	prep   *dataset.Prepared
+	policy dataset.SCCPolicy
+	l      *labeling.Labeling
+
+	// points backs the Replicate policy over point-only networks through
+	// the selected backend; boxes backs the MBR policy and — exactly —
+	// the Replicate policy of networks with extended geometries (paper
+	// footnote 1) through the R-tree, the only backend indexing boxes.
+	points pointIndex3
+	boxes  *rtree.Tree[geom.Box3]
+	// exactBoxes marks the boxes tree as holding exact per-vertex
+	// geometries: a hit is a witness, no member verification needed.
+	exactBoxes bool
+}
+
+// ThreeDOptions configures NewThreeDReach and NewThreeDReachRev.
+type ThreeDOptions struct {
+	// Policy selects the SCC spatial policy (default Replicate).
+	Policy dataset.SCCPolicy
+	// Fanout is the R-tree fan-out (0 = rtree.DefaultMaxEntries).
+	Fanout int
+	// Forest is the spanning-forest policy of the labeling.
+	Forest graph.ForestPolicy
+	// Backend selects the 3D point index for the Replicate policy
+	// (default the paper's R-tree). The MBR policy and 3DReach-Rev
+	// index extended objects and always use the R-tree.
+	Backend SpatialBackend
+}
+
+// NewThreeDReach builds the point-based 3DReach engine.
+func NewThreeDReach(prep *dataset.Prepared, opts ThreeDOptions) *ThreeDReach {
+	l := labeling.Build(prep.DAG, labeling.Options{Forest: opts.Forest})
+	return NewThreeDReachWithLabeling(prep, l, opts)
+}
+
+// NewThreeDReachWithLabeling builds the engine around an existing
+// labeling of prep.DAG — e.g. one reloaded from disk (see LoadEngine) or
+// shared with another engine. The spatial index is rebuilt by bulk load,
+// which is cheap relative to labeling construction.
+func NewThreeDReachWithLabeling(prep *dataset.Prepared, l *labeling.Labeling, opts ThreeDOptions) *ThreeDReach {
+	e := &ThreeDReach{prep: prep, policy: opts.Policy, l: l}
+
+	if opts.Policy == dataset.MBR {
+		// A component's geometry is its member MBR, lifted to its
+		// post-order height: the 3D R-tree indexes boxes instead of
+		// points (paper §6.2's MBR-based variant).
+		var entries []rtree.Entry[geom.Box3]
+		for c := range prep.Members {
+			if prep.HasSpatial[c] {
+				z := float64(l.PostOf(c))
+				entries = append(entries, rtree.Entry[geom.Box3]{
+					Box: geom.Box3FromRect(prep.CompMBR[c], z, z),
+					ID:  int32(c),
+				})
+			}
+		}
+		e.boxes = rtree.BulkLoad(entries, opts.Fanout)
+		return e
+	}
+
+	if prep.Net.HasExtents() {
+		// Extended geometries: every spatial vertex becomes the box
+		// (geometry × post), and an intersecting cuboid is a witness.
+		var entries []rtree.Entry[geom.Box3]
+		for v, s := range prep.Net.Spatial {
+			if s {
+				z := float64(l.PostOf(int(prep.CompOf(v))))
+				entries = append(entries, rtree.Entry[geom.Box3]{
+					Box: geom.Box3FromRect(prep.Net.GeometryOf(v), z, z),
+					ID:  int32(v),
+				})
+			}
+		}
+		e.boxes = rtree.BulkLoad(entries, opts.Fanout)
+		e.exactBoxes = true
+		return e
+	}
+
+	var pts []point3
+	for v, s := range prep.Net.Spatial {
+		if s {
+			c := prep.CompOf(v)
+			p := prep.Net.Points[v]
+			pts = append(pts, point3{
+				x: p.X, y: p.Y, z: float64(l.PostOf(int(c))), id: int32(v),
+			})
+		}
+	}
+	e.points = buildPointIndex3(pts, opts.Backend, opts.Fanout)
+	return e
+}
+
+// Name implements Engine.
+func (e *ThreeDReach) Name() string { return "3DReach" }
+
+// RangeReach implements Engine: one cuboid query per label, stopping at
+// the first witness.
+func (e *ThreeDReach) RangeReach(v int, r geom.Rect) bool {
+	src := int(e.prep.CompOf(v))
+	for _, iv := range e.l.Labels[src] {
+		q := geom.Box3FromRect(r, float64(iv.Lo), float64(iv.Hi))
+		if e.points != nil {
+			if e.points.AnyInBox(q) {
+				return true
+			}
+			continue
+		}
+		if e.exactBoxes {
+			if _, ok := e.boxes.SearchAny(q); ok {
+				return true
+			}
+			continue
+		}
+		hit := false
+		e.boxes.Search(q, func(entry rtree.Entry[geom.Box3]) bool {
+			// MBR policy: confirm partially overlapping boxes against
+			// the component's exact member points.
+			if r.ContainsRect(entry.Box.Rect()) {
+				hit = true
+				return false
+			}
+			for _, m := range e.prep.SpatialMembers[entry.ID] {
+				if e.prep.Witness(m, r) {
+					hit = true
+					return false
+				}
+			}
+			return true
+		})
+		if hit {
+			return true
+		}
+	}
+	return false
+}
+
+// MemoryBytes implements Engine: labeling plus the 3D index.
+func (e *ThreeDReach) MemoryBytes() int64 {
+	total := e.l.MemoryBytes()
+	if e.points != nil {
+		total += e.points.MemoryBytes()
+	} else {
+		total += e.boxes.MemoryBytes()
+	}
+	return total
+}
+
+// Labeling exposes the underlying labeling for stats reporting.
+func (e *ThreeDReach) Labeling() *labeling.Labeling { return e.l }
+
+var _ Engine = (*ThreeDReach)(nil)

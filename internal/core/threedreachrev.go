@@ -1,0 +1,114 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/labeling"
+	"repro/internal/rtree"
+)
+
+// ThreeDReachRev is the line-based 3DReach variant (paper §4.2, second
+// half): it builds the *reversed* interval-based labeling — constructed
+// by running the same algorithm on the network with all edges flipped —
+// in which every label [l, h] ∈ L̄(u) covers post-order numbers of u's
+// ancestors. A spatial vertex u is then modeled as a set of vertical 3D
+// line segments, one per reversed label, and RangeReach(G, v, R) becomes
+// a single 3D range query: the plane with base R at height post(v). The
+// answer is positive iff the plane cuts a segment.
+type ThreeDReachRev struct {
+	prep   *dataset.Prepared
+	policy dataset.SCCPolicy
+	rev    *labeling.Labeling // labeling of the reversed condensed DAG
+	tree   *rtree.Tree[geom.Box3]
+}
+
+// NewThreeDReachRev builds the line-based 3DReach-Rev engine.
+func NewThreeDReachRev(prep *dataset.Prepared, opts ThreeDOptions) *ThreeDReachRev {
+	rev := labeling.Build(prep.DAG.Reverse(), labeling.Options{Forest: opts.Forest})
+	return NewThreeDReachRevWithLabeling(prep, rev, opts)
+}
+
+// NewThreeDReachRevWithLabeling builds the engine around an existing
+// *reversed* labeling (built over prep.DAG.Reverse()), e.g. one reloaded
+// from disk.
+func NewThreeDReachRevWithLabeling(prep *dataset.Prepared, rev *labeling.Labeling, opts ThreeDOptions) *ThreeDReachRev {
+	e := &ThreeDReachRev{prep: prep, policy: opts.Policy, rev: rev}
+
+	var entries []rtree.Entry[geom.Box3]
+	if opts.Policy == dataset.MBR {
+		for c := range prep.Members {
+			if !prep.HasSpatial[c] {
+				continue
+			}
+			for _, iv := range rev.Labels[c] {
+				entries = append(entries, rtree.Entry[geom.Box3]{
+					Box: geom.Box3FromRect(prep.CompMBR[c], float64(iv.Lo), float64(iv.Hi)),
+					ID:  int32(c),
+				})
+			}
+		}
+	} else {
+		for v, s := range prep.Net.Spatial {
+			if !s {
+				continue
+			}
+			c := prep.CompOf(v)
+			// Vertical segment for point vertices; for extended
+			// geometries (paper footnote 1) the segment widens to the
+			// box geometry × label range, still exact.
+			g := prep.Net.GeometryOf(v)
+			for _, iv := range rev.Labels[c] {
+				entries = append(entries, rtree.Entry[geom.Box3]{
+					Box: geom.Box3FromRect(g, float64(iv.Lo), float64(iv.Hi)),
+					ID:  int32(v),
+				})
+			}
+		}
+	}
+	e.tree = rtree.BulkLoad(entries, opts.Fanout)
+	// Segments and boxes are stored alike (min/max corners), matching the
+	// paper's observation about Boost's R-tree (§6.2): no leaf-payload
+	// override either way.
+	return e
+}
+
+// Name implements Engine.
+func (e *ThreeDReachRev) Name() string { return "3DReach-Rev" }
+
+// RangeReach implements Engine with a single plane-shaped 3D range query
+// at the query vertex's post-order height.
+func (e *ThreeDReachRev) RangeReach(v int, r geom.Rect) bool {
+	src := int(e.prep.CompOf(v))
+	z := float64(e.rev.PostOf(src))
+	q := geom.Box3FromRect(r, z, z)
+	if e.policy == dataset.Replicate {
+		_, ok := e.tree.SearchAny(q)
+		return ok
+	}
+	hit := false
+	e.tree.Search(q, func(entry rtree.Entry[geom.Box3]) bool {
+		if r.ContainsRect(entry.Box.Rect()) {
+			hit = true
+			return false
+		}
+		for _, m := range e.prep.SpatialMembers[entry.ID] {
+			if e.prep.Witness(m, r) {
+				hit = true
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// MemoryBytes implements Engine: reversed labeling plus 3D R-tree.
+func (e *ThreeDReachRev) MemoryBytes() int64 {
+	return e.rev.MemoryBytes() + e.tree.MemoryBytes()
+}
+
+// Labeling exposes the reversed labeling for stats reporting (Table 6's
+// "reversed" columns).
+func (e *ThreeDReachRev) Labeling() *labeling.Labeling { return e.rev }
+
+var _ Engine = (*ThreeDReachRev)(nil)

@@ -1,0 +1,153 @@
+// Package dataset defines the geosocial network model G = (V, E, P) of
+// the paper (§2.1), file I/O for networks, the SCC preparation step that
+// turns an arbitrary network into the DAG the reachability indexes need
+// (paper §5), and synthetic generators calibrated to the structure of the
+// paper's four evaluation datasets (Table 3).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Network is a geosocial network: a directed graph whose vertices may
+// carry a point in the plane. Vertices with a point are called spatial
+// vertices (venues); the rest are social vertices (users).
+type Network struct {
+	// Name identifies the dataset in reports.
+	Name string
+	// Graph is the directed social graph over all vertices.
+	Graph *graph.Graph
+	// Spatial[v] reports whether v is a spatial vertex.
+	Spatial []bool
+	// Points[v] is the location of spatial vertex v; meaningless when
+	// Spatial[v] is false.
+	Points []geom.Point
+	// Extents optionally gives spatial vertices a rectangular extent —
+	// the paper's footnote 1 generalization to arbitrary geometries.
+	// Either nil (all vertices are points) or one entry per vertex,
+	// where a zero-valued rectangle means "just the point". When a
+	// vertex has an extent, Points[v] holds its center.
+	Extents []geom.Rect
+	// Checkins counts the user→venue edges recorded when the network was
+	// generated or loaded, before deduplication (Table 3 reporting).
+	Checkins int
+}
+
+// GeometryOf returns the spatial geometry of vertex v: its extent when
+// one is set, otherwise the degenerate rectangle of its point.
+func (n *Network) GeometryOf(v int) geom.Rect {
+	if n.Extents != nil {
+		if r := n.Extents[v]; r != (geom.Rect{}) {
+			return r
+		}
+	}
+	return geom.RectFromPoint(n.Points[v])
+}
+
+// HasExtents reports whether any spatial vertex carries a non-point
+// geometry. Engines use the cheaper point-only code paths when false.
+func (n *Network) HasExtents() bool {
+	for v, s := range n.Spatial {
+		if s && n.Extents != nil && n.Extents[v] != (geom.Rect{}) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumVertices returns |V|.
+func (n *Network) NumVertices() int { return n.Graph.NumVertices() }
+
+// NumEdges returns |E| after deduplication.
+func (n *Network) NumEdges() int { return n.Graph.NumEdges() }
+
+// NumSpatial returns |P|, the number of spatial vertices.
+func (n *Network) NumSpatial() int {
+	count := 0
+	for _, s := range n.Spatial {
+		if s {
+			count++
+		}
+	}
+	return count
+}
+
+// NumUsers returns the number of social (non-spatial) vertices.
+func (n *Network) NumUsers() int { return n.NumVertices() - n.NumSpatial() }
+
+// Space returns the minimum bounding rectangle of all spatial geometries
+// in the network — the SPACE the paper's region extents are measured
+// against.
+func (n *Network) Space() geom.Rect {
+	r := geom.EmptyRect()
+	for v, s := range n.Spatial {
+		if s {
+			r = r.Union(n.GeometryOf(v))
+		}
+	}
+	return r
+}
+
+// Validate checks structural consistency and returns the first problem
+// found, or nil.
+func (n *Network) Validate() error {
+	if n.Graph == nil {
+		return fmt.Errorf("dataset: nil graph")
+	}
+	nv := n.Graph.NumVertices()
+	if len(n.Spatial) != nv {
+		return fmt.Errorf("dataset: Spatial has %d entries for %d vertices", len(n.Spatial), nv)
+	}
+	if len(n.Points) != nv {
+		return fmt.Errorf("dataset: Points has %d entries for %d vertices", len(n.Points), nv)
+	}
+	if n.Extents != nil {
+		if len(n.Extents) != nv {
+			return fmt.Errorf("dataset: Extents has %d entries for %d vertices", len(n.Extents), nv)
+		}
+		for v, r := range n.Extents {
+			if r == (geom.Rect{}) {
+				continue
+			}
+			if !n.Spatial[v] {
+				return fmt.Errorf("dataset: vertex %d has an extent but is not spatial", v)
+			}
+			if !r.Valid() {
+				return fmt.Errorf("dataset: vertex %d has an invalid extent %v", v, r)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a network the way Table 3 does.
+type Stats struct {
+	Name       string
+	Users      int
+	Venues     int
+	Checkins   int
+	Vertices   int
+	Edges      int
+	Points     int
+	SCCs       int
+	LargestSCC int
+}
+
+// ComputeStats derives the Table 3 row for n.
+func (n *Network) ComputeStats() Stats {
+	cond := n.Graph.Condense()
+	return Stats{
+		Name:       n.Name,
+		Users:      n.NumUsers(),
+		Venues:     n.NumSpatial(),
+		Checkins:   n.Checkins,
+		Vertices:   n.NumVertices(),
+		Edges:      n.NumEdges(),
+		Points:     n.NumSpatial(),
+		SCCs:       cond.NumComponents(),
+		LargestSCC: cond.LargestComponentSize(),
+	}
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// SCCPolicy selects how the spatial extent of a strongly connected
+// component is modeled after condensation (paper §5).
+type SCCPolicy int
+
+const (
+	// Replicate replaces every super-vertex by the spatial vertices it
+	// contains: each member point is indexed individually and inherits
+	// the super-vertex's reachability labels. This is the paper's
+	// non-MBR variant, the winner of Figure 5.
+	Replicate SCCPolicy = iota
+	// MBR gives every super-vertex a single geometry: the minimum
+	// bounding rectangle of its members' points.
+	MBR
+)
+
+// String implements fmt.Stringer.
+func (p SCCPolicy) String() string {
+	if p == MBR {
+		return "mbr"
+	}
+	return "replicate"
+}
+
+// Prepared is a network after SCC condensation: the DAG every
+// reachability index is built on, plus the spatial information of every
+// component under both policies. All RangeReach engines consume a
+// Prepared network.
+type Prepared struct {
+	// Net is the original network.
+	Net *Network
+	// DAG is the condensation of Net.Graph. Vertex ids are component ids.
+	DAG *graph.Graph
+	// Comp maps original vertices to component ids.
+	Comp []int32
+	// Members lists original vertices per component.
+	Members [][]int32
+	// SpatialMembers lists the spatial original vertices per component
+	// (the Replicate policy's per-component point sources).
+	SpatialMembers [][]int32
+	// CompMBR is the MBR of each component's member points; the empty
+	// rectangle for components without spatial members.
+	CompMBR []geom.Rect
+	// HasSpatial reports whether a component contains a spatial vertex.
+	HasSpatial []bool
+}
+
+// Prepare condenses the network's strongly connected components and
+// derives the per-component spatial information (paper §5). Networks
+// that are already DAGs condense to themselves with singleton
+// components.
+func Prepare(net *Network) *Prepared {
+	cond := net.Graph.Condense()
+	p := &Prepared{
+		Net:            net,
+		DAG:            cond.DAG,
+		Comp:           cond.Comp,
+		Members:        cond.Members,
+		SpatialMembers: make([][]int32, len(cond.Members)),
+		CompMBR:        make([]geom.Rect, len(cond.Members)),
+		HasSpatial:     make([]bool, len(cond.Members)),
+	}
+	for c, members := range cond.Members {
+		mbr := geom.EmptyRect()
+		for _, v := range members {
+			if net.Spatial[v] {
+				p.SpatialMembers[c] = append(p.SpatialMembers[c], v)
+				mbr = mbr.Union(net.GeometryOf(int(v)))
+			}
+		}
+		p.CompMBR[c] = mbr
+		p.HasSpatial[c] = len(p.SpatialMembers[c]) > 0
+	}
+	return p
+}
+
+// CompOf returns the component id of the original vertex v.
+func (p *Prepared) CompOf(v int) int32 { return p.Comp[v] }
+
+// NumComponents returns the number of components (DAG vertices).
+func (p *Prepared) NumComponents() int { return len(p.Members) }
+
+// PointOf returns the location of the original spatial vertex v.
+func (p *Prepared) PointOf(v int32) geom.Point { return p.Net.Points[v] }
+
+// GeometryOf returns the spatial geometry of the original vertex v.
+func (p *Prepared) GeometryOf(v int32) geom.Rect { return p.Net.GeometryOf(int(v)) }
+
+// Witness reports whether the original spatial vertex v's geometry makes
+// the region r positive: point containment for point vertices, rectangle
+// intersection for extended geometries (paper footnote 1).
+func (p *Prepared) Witness(v int32, r geom.Rect) bool {
+	if p.Net.Extents != nil {
+		if e := p.Net.Extents[v]; e != (geom.Rect{}) {
+			return r.Intersects(e)
+		}
+	}
+	return r.ContainsPoint(p.Net.Points[v])
+}

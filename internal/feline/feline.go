@@ -1,0 +1,115 @@
+// Package feline implements the Feline reachability index — the scheme
+// behind the SpaReach-Feline variant of Sarwat and Sun (paper §2.2.1,
+// §7.1): every vertex receives coordinates from two topological orders,
+// chosen so that as many unreachable pairs as possible are separated by
+// coordinate dominance.
+//
+// If u reaches v then both orders place u strictly before v, so a pair
+// that violates dominance in either order is certainly unreachable — an
+// O(1) negative. Positives (and dominated-but-unreachable pairs) fall
+// back to a DFS pruned by the same test at every expanded vertex.
+package feline
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+)
+
+// Index is a Feline reachability index over a DAG.
+type Index struct {
+	g *graph.Graph
+	// x[v] and y[v] are v's positions in the two topological orders.
+	x, y []int32
+}
+
+// Build constructs the index for the DAG g. It panics if g has a cycle;
+// condense strongly connected components first.
+func Build(g *graph.Graph) *Index {
+	n := g.NumVertices()
+	idx := &Index{g: g, x: make([]int32, n), y: make([]int32, n)}
+
+	// First order: Kahn's algorithm popping the smallest vertex id.
+	// Second order: popping the largest id. Feline's original heuristic
+	// picks the second order to maximize the area under the dominance
+	// staircase; opposite tie-breaking is the standard cheap
+	// approximation and keeps both orders valid.
+	fillTopo(g, idx.x, false)
+	fillTopo(g, idx.y, true)
+	return idx
+}
+
+// fillTopo writes each vertex's position in a topological order into
+// pos, popping ready vertices from a min- or max-heap of ids.
+func fillTopo(g *graph.Graph, pos []int32, maxFirst bool) {
+	n := g.NumVertices()
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(g.InDegree(v))
+	}
+	h := &idHeap{max: maxFirst}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			heap.Push(h, int32(v))
+		}
+	}
+	next := int32(0)
+	for h.Len() > 0 {
+		v := heap.Pop(h).(int32)
+		pos[v] = next
+		next++
+		for _, u := range g.Out(int(v)) {
+			indeg[u]--
+			if indeg[u] == 0 {
+				heap.Push(h, u)
+			}
+		}
+	}
+	if int(next) != n {
+		panic("feline: Build requires a DAG; condense SCCs first")
+	}
+}
+
+// dominates reports whether u precedes v in both orders — the necessary
+// condition for u reaching v.
+func (idx *Index) dominates(u, v int32) bool {
+	return idx.x[u] < idx.x[v] && idx.y[u] < idx.y[v]
+}
+
+// Reach answers GReach(u, v). Reach(v, v) is true.
+func (idx *Index) Reach(u, v int) bool {
+	if u == v {
+		return true
+	}
+	if !idx.dominates(int32(u), int32(v)) {
+		return false
+	}
+	// Pruned DFS: only expand vertices that still dominate the target.
+	visited := make(map[int32]struct{}, 64)
+	return idx.search(int32(u), int32(v), visited)
+}
+
+func (idx *Index) search(u, target int32, visited map[int32]struct{}) bool {
+	visited[u] = struct{}{}
+	for _, w := range idx.g.Out(int(u)) {
+		if w == target {
+			return true
+		}
+		if _, seen := visited[w]; seen {
+			continue
+		}
+		if !idx.dominates(w, target) {
+			continue
+		}
+		if idx.search(w, target, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// MemoryBytes returns the index footprint: two int32 coordinates per
+// vertex.
+func (idx *Index) MemoryBytes() int64 {
+	return int64(4 * (len(idx.x) + len(idx.y)))
+}

@@ -1,0 +1,107 @@
+package feline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomDAG(rng *rand.Rand, n, edges int) *graph.Graph {
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < edges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if perm[u] > perm[v] {
+			u, v = v, u
+		}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func TestReachMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		idx := Build(g)
+		for u := 0; u < n; u++ {
+			reach := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				if got := idx.Reach(u, v); got != reach[v] {
+					t.Fatalf("trial %d: Reach(%d,%d) = %v, want %v", trial, u, v, got, reach[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDominanceIsSoundNegativeFilter(t *testing.T) {
+	// Every reachable pair must satisfy dominance in both orders.
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		idx := Build(g)
+		for u := 0; u < n; u++ {
+			reach := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				if u != v && reach[v] && !idx.dominates(int32(u), int32(v)) {
+					t.Fatalf("trial %d: reachable pair (%d,%d) not dominated", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCoordinatesArePermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	g := randomDAG(rng, 60, 150)
+	idx := Build(g)
+	for _, pos := range [][]int32{idx.x, idx.y} {
+		seen := make([]bool, 60)
+		for _, p := range pos {
+			if p < 0 || p >= 60 || seen[p] {
+				t.Fatal("coordinates not a permutation")
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestTwoOrdersDiffer(t *testing.T) {
+	// On a graph with parallel branches the opposite tie-breaking must
+	// produce different orders — that difference is Feline's pruning
+	// power.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	idx := Build(g)
+	same := true
+	for v := range idx.x {
+		if idx.x[v] != idx.y[v] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("both topological orders identical; no pruning power")
+	}
+}
+
+func TestPanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Build(graph.FromEdges(2, [][2]int{{0, 1}, {1, 0}}))
+}
+
+func TestMemoryBytes(t *testing.T) {
+	idx := Build(graph.FromEdges(10, [][2]int{{0, 1}}))
+	if idx.MemoryBytes() != 80 {
+		t.Errorf("MemoryBytes = %d, want 80", idx.MemoryBytes())
+	}
+}

@@ -1,0 +1,26 @@
+package feline
+
+// idHeap is a heap of vertex ids, min-first or max-first.
+type idHeap struct {
+	items []int32
+	max   bool
+}
+
+func (h *idHeap) Len() int { return len(h.items) }
+
+func (h *idHeap) Less(i, j int) bool {
+	if h.max {
+		return h.items[i] > h.items[j]
+	}
+	return h.items[i] < h.items[j]
+}
+
+func (h *idHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *idHeap) Push(x any) { h.items = append(h.items, x.(int32)) }
+
+func (h *idHeap) Pop() any {
+	v := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return v
+}

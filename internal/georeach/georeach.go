@@ -1,0 +1,273 @@
+// Package georeach re-implements the GeoReach method of Sarwat and Sun —
+// the state-of-the-art baseline the paper compares against (§2.2.2).
+//
+// GeoReach augments the vertices of the geosocial network with partially
+// materialized spatial reachability information, the SPA-Graph. Every
+// vertex is classified as one of:
+//
+//   - G-vertex: stores ReachGrid(v), the set of hierarchical grid cells
+//     containing all spatial vertices reachable from v;
+//   - R-vertex: stores RMBR(v), the minimum bounding rectangle of the
+//     reachable spatial vertices (used when the ReachGrid would exceed
+//     MAX_REACH_GRIDS cells);
+//   - B-vertex: stores only the spatial reachability bit GeoB(v) (used
+//     when the RMBR would exceed MAX_RMBR of the space).
+//
+// Queries traverse the SPA-Graph breadth-first from the query vertex,
+// pruning with the per-class rules and terminating early when a grid
+// cell or RMBR is fully contained in the query region.
+//
+// The index is built on the SCC-condensed DAG (reachability is invariant
+// under condensation); spatial vertices inside an SCC contribute their
+// individual points, i.e. GeoReach "always operates under a non-MBR
+// principle, by design" (paper §6.2).
+package georeach
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Kind is the SPA-Graph vertex class.
+type Kind uint8
+
+const (
+	// GVertex carries a ReachGrid.
+	GVertex Kind = iota
+	// RVertex carries an RMBR.
+	RVertex
+	// BVertex carries only GeoB.
+	BVertex
+)
+
+// Params are the three SPA-Graph construction parameters of §2.2.2.
+type Params struct {
+	// MaxRMBRFraction is MAX_RMBR as a fraction of the space area: an
+	// RMBR larger than this downgrades its vertex to a B-vertex.
+	// Default 0.8, the value of the paper's Example 2.5.
+	MaxRMBRFraction float64
+	// MaxReachGrids is MAX_REACH_GRIDS, the maximum ReachGrid
+	// cardinality before downgrading to an R-vertex. Default 64.
+	MaxReachGrids int
+	// MergeCount is MERGE_COUNT: more than this many sibling quad-cells
+	// in a ReachGrid are merged into their parent cell. Default 3.
+	MergeCount int
+	// Levels is the number of grid levels (default 8, i.e. a 128×128
+	// finest partitioning).
+	Levels int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxRMBRFraction <= 0 {
+		p.MaxRMBRFraction = 0.8
+	}
+	if p.MaxReachGrids <= 0 {
+		p.MaxReachGrids = 64
+	}
+	if p.MergeCount <= 0 {
+		p.MergeCount = 3
+	}
+	if p.Levels <= 0 {
+		p.Levels = 8
+	}
+	return p
+}
+
+// Index is the SPA-Graph of a prepared geosocial network.
+type Index struct {
+	prep *dataset.Prepared
+	h    *grid.Hierarchy
+
+	kind  []Kind
+	geoB  []bool         // all kinds: true iff the vertex reaches a spatial vertex
+	rmbr  []geom.Rect    // R-vertices
+	grids []grid.CellSet // G-vertices
+}
+
+// Build constructs the SPA-Graph for the prepared network.
+func Build(prep *dataset.Prepared, params Params) *Index {
+	params = params.withDefaults()
+	space := prep.Net.Space()
+	h := grid.NewHierarchy(space, params.Levels)
+	n := prep.NumComponents()
+	idx := &Index{
+		prep:  prep,
+		h:     h,
+		kind:  make([]Kind, n),
+		geoB:  make([]bool, n),
+		rmbr:  make([]geom.Rect, n),
+		grids: make([]grid.CellSet, n),
+	}
+	maxArea := params.MaxRMBRFraction * space.Area()
+
+	topo, ok := prep.DAG.TopoOrder()
+	if !ok {
+		panic("georeach: condensed graph is not a DAG")
+	}
+	// Children before parents: classification is monotone (G ≥ R ≥ B in
+	// information), and a vertex can never hold finer information than
+	// its least-informative successor with spatial reach.
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := int(topo[i])
+		kind := GVertex
+		cells := make(grid.CellSet)
+		mbr := geom.EmptyRect()
+		reaches := false
+
+		// Own spatial members (replicated geometries of the SCC).
+		for _, m := range prep.SpatialMembers[v] {
+			g := prep.GeometryOf(m)
+			h.CoverRect(g, 0, cells.Add)
+			mbr = mbr.Union(g)
+			reaches = true
+		}
+		for _, u := range prep.DAG.Out(v) {
+			if !idx.geoB[u] {
+				continue // successor reaches nothing spatial
+			}
+			reaches = true
+			switch idx.kind[u] {
+			case GVertex:
+				if kind == GVertex {
+					cells.UnionWith(idx.grids[u])
+				}
+				mbr = mbr.Union(idx.rmbr[u])
+			case RVertex:
+				if kind == GVertex {
+					kind = RVertex
+				}
+				mbr = mbr.Union(idx.rmbr[u])
+			case BVertex:
+				kind = BVertex
+			}
+		}
+
+		idx.geoB[v] = reaches
+		if !reaches {
+			idx.kind[v] = BVertex
+			continue
+		}
+		if kind == GVertex {
+			cells.Merge(h, params.MergeCount)
+			if cells.Len() > params.MaxReachGrids {
+				kind = RVertex
+			} else {
+				idx.kind[v] = GVertex
+				idx.grids[v] = cells
+				idx.rmbr[v] = mbr // kept for child classification only
+				continue
+			}
+		}
+		if kind == RVertex {
+			if mbr.Area() > maxArea {
+				kind = BVertex
+			} else {
+				idx.kind[v] = RVertex
+				idx.rmbr[v] = mbr
+				continue
+			}
+		}
+		idx.kind[v] = BVertex
+		idx.rmbr[v] = mbr // kept for child classification only
+	}
+	return idx
+}
+
+// RangeReach answers RangeReach(G, v, R) for the original vertex v by
+// traversing the SPA-Graph breadth-first with the §2.2.2 pruning rules.
+func (idx *Index) RangeReach(v int, r geom.Rect) bool {
+	prep := idx.prep
+	start := int(prep.CompOf(v))
+	if !idx.geoB[start] {
+		return false
+	}
+	n := prep.NumComponents()
+	visited := make([]bool, n)
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(start))
+	visited[start] = true
+
+	for len(queue) > 0 {
+		u := int(queue[0])
+		queue = queue[1:]
+
+		expand := false
+		switch idx.kind[u] {
+		case BVertex:
+			if !idx.geoB[u] {
+				continue // prune: reaches nothing spatial
+			}
+			expand = true
+		case RVertex:
+			if !idx.rmbr[u].Intersects(r) {
+				continue // prune: no reachable point can be in R
+			}
+			if r.ContainsRect(idx.rmbr[u]) {
+				return true // every reachable point is in R; RMBR non-empty
+			}
+			expand = true
+		case GVertex:
+			intersects, contained := idx.grids[u].IntersectsRect(idx.h, r)
+			if contained {
+				return true // a non-empty cell lies fully inside R
+			}
+			if !intersects {
+				continue
+			}
+			expand = true
+		}
+
+		// Partial overlap: test the vertex's own spatial members exactly.
+		for _, m := range prep.SpatialMembers[u] {
+			if prep.Witness(m, r) {
+				return true
+			}
+		}
+		if expand {
+			for _, w := range prep.DAG.Out(u) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// KindOf returns the SPA-Graph class of component c (tests and stats).
+func (idx *Index) KindOf(c int) Kind { return idx.kind[c] }
+
+// CountKinds returns how many components fall in each class.
+func (idx *Index) CountKinds() (g, r, b int) {
+	for _, k := range idx.kind {
+		switch k {
+		case GVertex:
+			g++
+		case RVertex:
+			r++
+		default:
+			b++
+		}
+	}
+	return g, r, b
+}
+
+// MemoryBytes returns the SPA-Graph footprint: one class byte and GeoB
+// bit per vertex, 32 bytes per stored RMBR and 8 bytes per ReachGrid
+// cell (Table 4 accounting). RMBRs retained only for construction of
+// parents are not counted for G/B vertices, matching what GeoReach
+// materializes.
+func (idx *Index) MemoryBytes() int64 {
+	total := int64(2 * len(idx.kind))
+	for v, k := range idx.kind {
+		switch k {
+		case RVertex:
+			total += 32
+		case GVertex:
+			total += idx.grids[v].MemoryBytes()
+		}
+	}
+	return total
+}

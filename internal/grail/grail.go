@@ -1,0 +1,192 @@
+// Package grail implements the GRAIL reachability index (paper §7.1): k
+// randomized DFS traversals each assign every vertex an interval label
+// [min, post] over that traversal's post-order, such that if u reaches v
+// then v's interval is contained in u's in *every* traversal. A
+// containment violation in any dimension is therefore a certain
+// negative; the remaining pairs fall back to a DFS pruned by the same
+// containment test.
+//
+// Unlike the spanning-forest labels of internal/labeling, GRAIL
+// propagates interval minima across *all* edges (not just tree edges),
+// which makes the containment test necessary but not sufficient — the
+// classic Label+G tradeoff: constant-size labels, occasional graph
+// search.
+package grail
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// DefaultTraversals is the default number of randomized labelings;
+// GRAIL's authors recommend small k (2–5).
+const DefaultTraversals = 3
+
+// Index is a GRAIL reachability index over a DAG.
+type Index struct {
+	g *graph.Graph
+	k int
+	// labels[i*2*n + 2*v] = min, [.. +1] = post for traversal i,
+	// flattened for locality.
+	labels []int32
+}
+
+// Options configures Build.
+type Options struct {
+	// Traversals is the number of randomized labelings (0 selects
+	// DefaultTraversals).
+	Traversals int
+	// Seed fixes the random child orders for reproducible builds.
+	Seed int64
+}
+
+// Build constructs the index for the DAG g. It panics if g has a cycle;
+// condense strongly connected components first.
+func Build(g *graph.Graph, opts Options) *Index {
+	if !g.IsDAG() {
+		panic("grail: Build requires a DAG; condense SCCs first")
+	}
+	k := opts.Traversals
+	if k <= 0 {
+		k = DefaultTraversals
+	}
+	n := g.NumVertices()
+	idx := &Index{g: g, k: k, labels: make([]int32, k*2*n)}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	topo, _ := g.TopoOrder()
+	order := make([]int32, n)
+	copy(order, topo)
+
+	post := make([]int32, n)
+	for i := 0; i < k; i++ {
+		idx.randomPostOrder(rng, post)
+		base := i * 2 * n
+		// min[v] = min over post of v and all successors' minima;
+		// process children before parents.
+		for j := n - 1; j >= 0; j-- {
+			v := order[j]
+			min := post[v]
+			for _, u := range g.Out(int(v)) {
+				if m := idx.labels[base+2*int(u)]; m < min {
+					min = m
+				}
+			}
+			idx.labels[base+2*int(v)] = min
+			idx.labels[base+2*int(v)+1] = post[v]
+		}
+	}
+	return idx
+}
+
+// randomPostOrder assigns 1-based post-order numbers from a DFS over a
+// random root permutation with randomly shuffled child visits.
+func (idx *Index) randomPostOrder(rng *rand.Rand, post []int32) {
+	g := idx.g
+	n := g.NumVertices()
+	visited := make([]bool, n)
+	next := int32(1)
+
+	type frame struct {
+		v    int32
+		kids []int32
+		pos  int
+	}
+	var frames []frame
+	shuffled := func(v int32) []int32 {
+		adj := g.Out(int(v))
+		kids := make([]int32, len(adj))
+		copy(kids, adj)
+		rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		return kids
+	}
+	dfs := func(root int32) {
+		visited[root] = true
+		frames = append(frames[:0], frame{v: root, kids: shuffled(root)})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.pos < len(f.kids) {
+				u := f.kids[f.pos]
+				f.pos++
+				if !visited[u] {
+					visited[u] = true
+					frames = append(frames, frame{v: u, kids: shuffled(u)})
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				post[f.v] = next
+				next++
+				frames = frames[:len(frames)-1]
+			}
+		}
+	}
+	roots := make([]int32, 0, 16)
+	for v := 0; v < n; v++ {
+		if g.InDegree(v) == 0 {
+			roots = append(roots, int32(v))
+		}
+	}
+	rng.Shuffle(len(roots), func(i, j int) { roots[i], roots[j] = roots[j], roots[i] })
+	for _, r := range roots {
+		if !visited[r] {
+			dfs(r)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			dfs(int32(v))
+		}
+	}
+}
+
+// contains reports whether v's interval is inside u's in every
+// traversal — the necessary condition for u reaching v.
+func (idx *Index) contains(u, v int32) bool {
+	n := idx.g.NumVertices()
+	for i := 0; i < idx.k; i++ {
+		base := i * 2 * n
+		if idx.labels[base+2*int(v)] < idx.labels[base+2*int(u)] ||
+			idx.labels[base+2*int(v)+1] > idx.labels[base+2*int(u)+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reach answers GReach(u, v). Reach(v, v) is true.
+func (idx *Index) Reach(u, v int) bool {
+	if u == v {
+		return true
+	}
+	if !idx.contains(int32(u), int32(v)) {
+		return false
+	}
+	visited := make(map[int32]struct{}, 64)
+	return idx.search(int32(u), int32(v), visited)
+}
+
+func (idx *Index) search(u, target int32, visited map[int32]struct{}) bool {
+	visited[u] = struct{}{}
+	for _, w := range idx.g.Out(int(u)) {
+		if w == target {
+			return true
+		}
+		if _, seen := visited[w]; seen {
+			continue
+		}
+		if !idx.contains(w, target) {
+			continue
+		}
+		if idx.search(w, target, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// MemoryBytes returns the label footprint: 2k int32 per vertex.
+func (idx *Index) MemoryBytes() int64 { return int64(4 * len(idx.labels)) }

@@ -1,0 +1,111 @@
+package grail
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomDAG(rng *rand.Rand, n, edges int) *graph.Graph {
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < edges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if perm[u] > perm[v] {
+			u, v = v, u
+		}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func TestReachMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		for _, k := range []int{1, 3} {
+			idx := Build(g, Options{Traversals: k, Seed: int64(trial)})
+			for u := 0; u < n; u++ {
+				reach := g.Reachable(u)
+				for v := 0; v < n; v++ {
+					if got := idx.Reach(u, v); got != reach[v] {
+						t.Fatalf("trial %d k=%d: Reach(%d,%d) = %v, want %v",
+							trial, k, u, v, got, reach[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestContainmentIsSoundNegativeFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		idx := Build(g, Options{Seed: int64(trial)})
+		for u := 0; u < n; u++ {
+			reach := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				if reach[v] && !idx.contains(int32(u), int32(v)) {
+					t.Fatalf("trial %d: reachable pair (%d,%d) fails containment", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMoreTraversalsNeverHurtPruning(t *testing.T) {
+	// With more traversals, strictly more unreachable pairs should be
+	// caught by containment alone (at least never fewer).
+	rng := rand.New(rand.NewSource(419))
+	g := randomDAG(rng, 50, 120)
+	count := func(k int) int {
+		idx := Build(g, Options{Traversals: k, Seed: 5})
+		pruned := 0
+		for u := int32(0); u < 50; u++ {
+			for v := int32(0); v < 50; v++ {
+				if u != v && !idx.contains(u, v) {
+					pruned++
+				}
+			}
+		}
+		return pruned
+	}
+	if count(4) < count(1) {
+		t.Error("more traversals pruned fewer pairs")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	g := randomDAG(rng, 30, 80)
+	a := Build(g, Options{Seed: 9})
+	b := Build(g, Options{Seed: 9})
+	for i := range a.labels {
+		if a.labels[i] != b.labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestPanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Build(graph.FromEdges(2, [][2]int{{0, 1}, {1, 0}}), Options{})
+}
+
+func TestMemoryBytesScalesWithK(t *testing.T) {
+	g := graph.FromEdges(10, [][2]int{{0, 1}})
+	if Build(g, Options{Traversals: 4}).MemoryBytes() <= Build(g, Options{Traversals: 1}).MemoryBytes() {
+		t.Error("memory does not scale with traversals")
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// edgeSpec is a quick-generated directed graph description.
+type edgeSpec struct {
+	N     uint8
+	Pairs []uint16
+}
+
+func (s edgeSpec) graph() *Graph {
+	n := int(s.N%40) + 1
+	b := NewBuilder(n)
+	for _, p := range s.Pairs {
+		u := int(p>>8) % n
+		v := int(p&0xff) % n
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func (s edgeSpec) dag() *Graph {
+	n := int(s.N%40) + 1
+	b := NewBuilder(n)
+	for _, p := range s.Pairs {
+		u := int(p>>8) % n
+		v := int(p&0xff) % n
+		if u > v {
+			u, v = v, u
+		}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func TestQuickReverseIsInvolution(t *testing.T) {
+	f := func(s edgeSpec) bool {
+		g := s.graph()
+		rr := g.Reverse().Reverse()
+		if rr.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(u, v int) {
+			if !rr.HasEdge(u, v) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReachabilityTransitive(t *testing.T) {
+	f := func(s edgeSpec, seed int64) bool {
+		g := s.graph()
+		n := g.NumVertices()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 10; i++ {
+			a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if g.CanReach(a, b) && g.CanReach(b, c) && !g.CanReach(a, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCondensationIsAcyclicAndMinimal(t *testing.T) {
+	f := func(s edgeSpec) bool {
+		g := s.graph()
+		c := g.Condense()
+		if !c.DAG.IsDAG() {
+			return false
+		}
+		// Condensing a DAG is the identity on vertex count.
+		c2 := c.DAG.Condense()
+		return c2.NumComponents() == c.DAG.NumVertices()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopoOrderSortsAllDAGs(t *testing.T) {
+	f := func(s edgeSpec) bool {
+		g := s.dag()
+		order, ok := g.TopoOrder()
+		if !ok {
+			return false
+		}
+		pos := make([]int, g.NumVertices())
+		for i, v := range order {
+			pos[v] = i
+		}
+		sorted := true
+		g.Edges(func(u, v int) {
+			if pos[u] >= pos[v] {
+				sorted = false
+			}
+		})
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickForestSubtreesContiguous(t *testing.T) {
+	f := func(s edgeSpec, bfs bool) bool {
+		g := s.dag()
+		policy := ForestDFS
+		if bfs {
+			policy = ForestBFS
+		}
+		forest := NewSpanningForest(g, policy)
+		// Every subtree covers the contiguous post range
+		// [MinPost, Post]; spot-check via parents.
+		for v := 0; v < g.NumVertices(); v++ {
+			p := forest.Parent[v]
+			if p < 0 {
+				continue
+			}
+			if forest.MinPost[p] > forest.MinPost[v] || forest.Post[p] <= forest.Post[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package graph
+
+// BFS traverses g breadth-first from start, calling visit for every
+// reached vertex (including start). If visit returns false the traversal
+// stops immediately; BFS then returns false. Otherwise it returns true
+// after exhausting the reachable set.
+func (g *Graph) BFS(start int, visit func(v int) bool) bool {
+	seen := make([]bool, g.n)
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(start))
+	seen[start] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if !visit(int(v)) {
+			return false
+		}
+		for _, u := range g.Out(int(v)) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return true
+}
+
+// Reachable returns the set of vertices reachable from start (including
+// start itself) as a boolean slice indexed by vertex id. It is the
+// brute-force ground truth the reachability indexes are tested against.
+func (g *Graph) Reachable(start int) []bool {
+	seen := make([]bool, g.n)
+	stack := []int32{int32(start)}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Out(int(v)) {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return seen
+}
+
+// CanReach reports whether g contains a path from u to v, by plain DFS.
+func (g *Graph) CanReach(u, v int) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int32{int32(u)}
+	seen[u] = true
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, x := range g.Out(int(w)) {
+			if int(x) == v {
+				return true
+			}
+			if !seen[x] {
+				seen[x] = true
+				stack = append(stack, x)
+			}
+		}
+	}
+	return false
+}
+
+// TopoOrder returns a topological order of g (every edge goes from an
+// earlier to a later position) and true, or nil and false if g contains a
+// cycle. Kahn's algorithm.
+func (g *Graph) TopoOrder() ([]int32, bool) {
+	indeg := make([]int32, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = int32(g.InDegree(v))
+	}
+	order := make([]int32, 0, g.n)
+	queue := make([]int32, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, u := range g.Out(int(v)) {
+			indeg[u]--
+			if indeg[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsDAG reports whether g is acyclic.
+func (g *Graph) IsDAG() bool {
+	_, ok := g.TopoOrder()
+	return ok
+}

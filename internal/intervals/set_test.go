@@ -1,0 +1,206 @@
+package intervals
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressPaperExamples(t *testing.T) {
+	// §3.1: [3,5] absorbs [4,5]; [1,4] and [4,5] merge to [1,5].
+	tests := []struct {
+		name string
+		in   Set
+		want Set
+	}{
+		{"absorb", Set{{3, 5}, {4, 5}}, Set{{3, 5}}},
+		{"merge-overlap", Set{{1, 4}, {4, 5}}, Set{{1, 5}}},
+		{"merge-adjacent-integers", Set{{1, 3}, {4, 5}}, Set{{1, 5}}},
+		{"disjoint", Set{{1, 2}, {7, 9}}, Set{{1, 2}, {7, 9}}},
+		{"unsorted", Set{{7, 9}, {1, 2}, {3, 3}}, Set{{1, 3}, {7, 9}}},
+		{"duplicates", Set{{2, 2}, {2, 2}, {2, 2}}, Set{{2, 2}}},
+		{"single", Set{{5, 5}}, Set{{5, 5}}},
+		{"empty", nil, nil},
+		{"table1-vertex-b", Set{{4, 4}, {2, 2}, {3, 3}, {1, 1}, {7, 7}, {5, 5}}, Set{{1, 5}, {7, 7}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.Clone().Compress()
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Compress(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// coveredPosts returns the set of integers covered by s.
+func coveredPosts(s Set) map[int32]bool {
+	m := make(map[int32]bool)
+	for _, iv := range s {
+		for p := iv.Lo; p <= iv.Hi; p++ {
+			m[p] = true
+		}
+	}
+	return m
+}
+
+func TestCompressProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		var s Set
+		for i := 0; i < rng.Intn(20); i++ {
+			lo := int32(1 + rng.Intn(60))
+			hi := lo + int32(rng.Intn(8))
+			s = s.Add(lo, hi)
+		}
+		before := coveredPosts(s)
+		c := s.Clone().Compress()
+		if !c.IsCanonical() {
+			t.Fatalf("trial %d: Compress(%v) = %v not canonical", trial, s, c)
+		}
+		after := coveredPosts(c)
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("trial %d: coverage changed: %v -> %v", trial, s, c)
+		}
+		// Idempotent.
+		again := c.Clone().Compress()
+		if !c.Equal(again) {
+			t.Fatalf("trial %d: Compress not idempotent: %v -> %v", trial, c, again)
+		}
+		// Contains agrees with coverage, canonical or not.
+		for p := int32(0); p <= 70; p++ {
+			if c.ContainsCanonical(p) != before[p] {
+				t.Fatalf("trial %d: ContainsCanonical(%d) wrong on %v", trial, p, c)
+			}
+			if s.Contains(p) != before[p] {
+				t.Fatalf("trial %d: Contains(%d) wrong on raw %v", trial, p, s)
+			}
+		}
+	}
+}
+
+func TestMergeCanonical(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		a := setFromRaw(rawA).Compress()
+		b := setFromRaw(rawB).Compress()
+		m := MergeCanonical(a, b)
+		if !m.IsCanonical() {
+			return false
+		}
+		want := coveredPosts(a)
+		for p := range coveredPosts(b) {
+			want[p] = true
+		}
+		return reflect.DeepEqual(coveredPosts(m), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// setFromRaw builds intervals from pairs of raw fuzz values.
+func setFromRaw(raw []uint16) Set {
+	var s Set
+	for i := 0; i+1 < len(raw); i += 2 {
+		lo := int32(raw[i]%200) + 1
+		hi := lo + int32(raw[i+1]%10)
+		s = s.Add(lo, hi)
+	}
+	return s
+}
+
+func TestUnionSetSemantics(t *testing.T) {
+	a := Set{{1, 1}, {2, 2}}
+	b := Set{{2, 2}, {3, 3}}
+	u := a.Union(b)
+	if len(u) != 3 {
+		t.Fatalf("Union dedup failed: %v", u)
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	s := Set{{1, 5}, {7, 7}}
+	if got := s.Cardinality(); got != 6 {
+		t.Errorf("Cardinality = %d, want 6", got)
+	}
+	if got := Set(nil).Cardinality(); got != 0 {
+		t.Errorf("empty Cardinality = %d", got)
+	}
+}
+
+func TestSingletonAndString(t *testing.T) {
+	s := Singleton(9)
+	if !s.Contains(9) || s.Contains(8) {
+		t.Error("Singleton containment wrong")
+	}
+	if got := s.String(); got != "{[9,9]}" {
+		t.Errorf("String = %q", got)
+	}
+	if (Interval{3, 5}).String() != "[3,5]" {
+		t.Error("Interval.String wrong")
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	tests := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{1, 3}, Interval{3, 5}, true},
+		{Interval{1, 3}, Interval{4, 5}, false},
+		{Interval{1, 9}, Interval{4, 5}, true},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v", tc.a, tc.b, got)
+		}
+		if got := tc.b.Overlaps(tc.a); got != tc.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s := Set{{1, 2}, {3, 4}, {9, 9}}
+	if got := s.MemoryBytes(); got != 24 {
+		t.Errorf("MemoryBytes = %d, want 24", got)
+	}
+}
+
+func TestCoversCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		a := setFromRawInts(rng, 15).Compress()
+		b := setFromRawInts(rng, 8).Compress()
+		got := a.CoversCanonical(b)
+		want := true
+		for p := int32(1); p <= 300; p++ {
+			if b.ContainsCanonical(p) && !a.ContainsCanonical(p) {
+				want = false
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: Covers(%v, %v) = %v, want %v", trial, a, b, got, want)
+		}
+	}
+	if !(Set{}).CoversCanonical(Set{}) {
+		t.Error("empty covers empty failed")
+	}
+	if (Set{}).CoversCanonical(Set{{1, 1}}) {
+		t.Error("empty covers non-empty")
+	}
+}
+
+func setFromRawInts(rng *rand.Rand, n int) Set {
+	var s Set
+	for i := 0; i < rng.Intn(n); i++ {
+		lo := int32(1 + rng.Intn(250))
+		s = s.Add(lo, lo+int32(rng.Intn(20)))
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+package intervals
+
+// StabTree is a stabbing index over the dense post-order domain [1, n]:
+// it stores (interval, owner) pairs and answers "which owners have an
+// interval containing p?" queries. Algorithm 1 uses it to find the
+// label-based ancestors of the current vertex when propagating labels
+// (paper §3.2, lines 14–15 and 23–24: "this is reminiscent of a stabbing
+// query on post(v), which can be accelerated by traditional interval
+// indexing such as the interval tree").
+//
+// The implementation is a segment tree over the integer domain: every
+// inserted interval is decomposed into O(log n) canonical segments, and a
+// stabbing query visits the O(log n) nodes on the root-to-leaf path of p.
+// Both operations are O(log n) plus output size.
+type StabTree struct {
+	n      int32
+	owners [][]int32 // owners[node] lists owners whose interval covers the node's whole segment
+}
+
+// NewStabTree returns an empty stabbing index over the domain [1, n].
+func NewStabTree(n int) *StabTree {
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	return &StabTree{n: int32(n), owners: make([][]int32, 2*size)}
+}
+
+// Insert records that owner has a label interval iv. Inserting the same
+// (owner, interval) pair twice stores it twice; callers deduplicate via
+// the visited-stamp pattern during stabbing.
+func (t *StabTree) Insert(iv Interval, owner int32) {
+	lo, hi := iv.Lo, iv.Hi
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > t.n {
+		hi = t.n
+	}
+	if lo > hi {
+		return
+	}
+	t.insert(1, 1, t.segSize(), lo, hi, owner)
+}
+
+func (t *StabTree) segSize() int32 { return int32(len(t.owners) / 2) }
+
+func (t *StabTree) insert(node, nodeLo, nodeHi, lo, hi int32, owner int32) {
+	if lo <= nodeLo && nodeHi <= hi {
+		t.owners[node] = append(t.owners[node], owner)
+		return
+	}
+	mid := (nodeLo + nodeHi) / 2
+	if lo <= mid {
+		t.insert(2*node, nodeLo, mid, lo, min32(hi, mid), owner)
+	}
+	if hi > mid {
+		t.insert(2*node+1, mid+1, nodeHi, max32(lo, mid+1), hi, owner)
+	}
+}
+
+// Stab calls fn for every owner with an interval containing p. An owner
+// with multiple covering intervals is reported once per covering segment;
+// fn must tolerate duplicates (e.g. via a visited stamp). If fn returns
+// false the query stops early and Stab returns false.
+func (t *StabTree) Stab(p int32, fn func(owner int32) bool) bool {
+	if p < 1 || p > t.n {
+		return true
+	}
+	node, lo, hi := int32(1), int32(1), t.segSize()
+	for {
+		for _, o := range t.owners[node] {
+			if !fn(o) {
+				return false
+			}
+		}
+		if lo == hi {
+			return true
+		}
+		mid := (lo + hi) / 2
+		if p <= mid {
+			node, hi = 2*node, mid
+		} else {
+			node, lo = 2*node+1, mid+1
+		}
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package intervals
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStabTreeBasic(t *testing.T) {
+	tr := NewStabTree(16)
+	tr.Insert(Interval{3, 8}, 1)
+	tr.Insert(Interval{5, 5}, 2)
+	tr.Insert(Interval{1, 16}, 3)
+
+	stab := func(p int32) map[int32]bool {
+		got := make(map[int32]bool)
+		tr.Stab(p, func(o int32) bool {
+			got[o] = true
+			return true
+		})
+		return got
+	}
+
+	for p, want := range map[int32][]int32{
+		1:  {3},
+		3:  {1, 3},
+		5:  {1, 2, 3},
+		8:  {1, 3},
+		9:  {3},
+		16: {3},
+	} {
+		got := stab(p)
+		if len(got) != len(want) {
+			t.Fatalf("Stab(%d) = %v, want %v", p, got, want)
+		}
+		for _, o := range want {
+			if !got[o] {
+				t.Fatalf("Stab(%d) missing owner %d", p, o)
+			}
+		}
+	}
+}
+
+func TestStabTreeOutOfDomain(t *testing.T) {
+	tr := NewStabTree(8)
+	tr.Insert(Interval{1, 8}, 7)
+	called := false
+	tr.Stab(0, func(int32) bool { called = true; return true })
+	tr.Stab(9, func(int32) bool { called = true; return true })
+	if called {
+		t.Error("out-of-domain stab invoked callback")
+	}
+	// Inserts clipped to the domain.
+	tr.Insert(Interval{-5, 20}, 9)
+	found := false
+	tr.Stab(8, func(o int32) bool {
+		if o == 9 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("clipped insert not found")
+	}
+}
+
+func TestStabTreeEarlyStop(t *testing.T) {
+	tr := NewStabTree(8)
+	for i := int32(0); i < 5; i++ {
+		tr.Insert(Interval{1, 8}, i)
+	}
+	count := 0
+	completed := tr.Stab(4, func(int32) bool {
+		count++
+		return count < 2
+	})
+	if completed {
+		t.Error("early-stopped Stab reported completion")
+	}
+	if count != 2 {
+		t.Errorf("callback ran %d times, want 2", count)
+	}
+}
+
+func TestStabTreeRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		tr := NewStabTree(n)
+		type rec struct {
+			iv    Interval
+			owner int32
+		}
+		var recs []rec
+		for i := 0; i < rng.Intn(80); i++ {
+			lo := int32(1 + rng.Intn(n))
+			hi := lo + int32(rng.Intn(n))
+			if hi > int32(n) {
+				hi = int32(n)
+			}
+			r := rec{Interval{lo, hi}, int32(rng.Intn(10))}
+			recs = append(recs, r)
+			tr.Insert(r.iv, r.owner)
+		}
+		for p := int32(1); p <= int32(n); p++ {
+			want := make(map[int32]bool)
+			for _, r := range recs {
+				if r.iv.Contains(p) {
+					want[r.owner] = true
+				}
+			}
+			got := make(map[int32]bool)
+			tr.Stab(p, func(o int32) bool {
+				got[o] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Stab(%d) owners %v, want %v", trial, p, got, want)
+			}
+			for o := range want {
+				if !got[o] {
+					t.Fatalf("trial %d: Stab(%d) missing %d", trial, p, o)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package kdtree implements a static k-d tree over 2D or 3D points — a
+// space-oriented-partitioning alternative (paper §7.2) to the R-tree for
+// the point indexes of SpaReach and 3DReach. The tree is built balanced
+// by median splits over a cycling axis and answers axis-aligned range
+// queries with early termination.
+package kdtree
+
+import (
+	"repro/internal/geom"
+)
+
+// Point is an indexed point: up to three coordinates plus the caller's
+// identifier. For 2D use, Z stays zero and queries pass Dims == 2.
+type Point struct {
+	X, Y, Z float64
+	ID      int32
+}
+
+// coord returns the point's coordinate along axis d.
+func (p Point) coord(d int) float64 {
+	switch d {
+	case 0:
+		return p.X
+	case 1:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+// Tree is a balanced k-d tree. The zero value is unusable; call Build.
+type Tree struct {
+	dims int
+	// Implicit binary tree over the points slice: node i splits its
+	// subrange at the median; stored as a flattened recursion.
+	pts  []Point
+	axis []int8 // split axis per subrange root, aligned with pts
+}
+
+// Build constructs a tree over the given points with the given
+// dimensionality (2 or 3). The points slice is reordered in place.
+func Build(pts []Point, dims int) *Tree {
+	if dims != 2 && dims != 3 {
+		panic("kdtree: dims must be 2 or 3")
+	}
+	t := &Tree{dims: dims, pts: pts, axis: make([]int8, len(pts))}
+	t.build(0, len(pts), 0)
+	return t
+}
+
+// build organizes pts[lo:hi] as a subtree split on the given axis: the
+// median lands at the subrange midpoint, smaller coordinates left,
+// larger right.
+func (t *Tree) build(lo, hi, depth int) {
+	if hi-lo <= 1 {
+		return
+	}
+	axis := depth % t.dims
+	mid := (lo + hi) / 2
+	nthElement(t.pts[lo:hi], mid-lo, axis)
+	t.axis[mid] = int8(axis)
+	t.build(lo, mid, depth+1)
+	t.build(mid+1, hi, depth+1)
+}
+
+// nthElement partially sorts pts so that pts[n] is the element that
+// would be at position n in axis order (quickselect).
+func nthElement(pts []Point, n, axis int) {
+	lo, hi := 0, len(pts)
+	for hi-lo > 1 {
+		// Median-of-three pivot.
+		p := pts[lo].coord(axis)
+		q := pts[(lo+hi)/2].coord(axis)
+		r := pts[hi-1].coord(axis)
+		pivot := p
+		if (q >= p && q <= r) || (q <= p && q >= r) {
+			pivot = q
+		} else if (r >= p && r <= q) || (r <= p && r >= q) {
+			pivot = r
+		}
+		i, j := lo, hi-1
+		for i <= j {
+			for pts[i].coord(axis) < pivot {
+				i++
+			}
+			for pts[j].coord(axis) > pivot {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case n <= j:
+			hi = j + 1
+		case n >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Search calls fn for every point inside the box [min, max] (boundary
+// inclusive; for 2D trees the Z bounds are ignored). If fn returns false
+// the search stops and Search returns false.
+func (t *Tree) Search(min, max [3]float64, fn func(p Point) bool) bool {
+	if t.dims == 2 {
+		min[2], max[2] = 0, 0
+	}
+	return t.search(0, len(t.pts), 0, min, max, fn)
+}
+
+func (t *Tree) search(lo, hi, depth int, min, max [3]float64, fn func(p Point) bool) bool {
+	if hi <= lo {
+		return true
+	}
+	if hi-lo == 1 {
+		return t.visit(t.pts[lo], min, max, fn)
+	}
+	mid := (lo + hi) / 2
+	axis := depth % t.dims
+	c := t.pts[mid].coord(axis)
+	if min[axis] <= c {
+		if !t.search(lo, mid, depth+1, min, max, fn) {
+			return false
+		}
+	}
+	if !t.visit(t.pts[mid], min, max, fn) {
+		return false
+	}
+	if max[axis] >= c {
+		if !t.search(mid+1, hi, depth+1, min, max, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tree) visit(p Point, min, max [3]float64, fn func(p Point) bool) bool {
+	for d := 0; d < t.dims; d++ {
+		if p.coord(d) < min[d] || p.coord(d) > max[d] {
+			return true
+		}
+	}
+	return fn(p)
+}
+
+// SearchBox3 adapts Search to a geom.Box3 query.
+func (t *Tree) SearchBox3(q geom.Box3, fn func(p Point) bool) bool {
+	return t.Search(
+		[3]float64{q.Min.X, q.Min.Y, q.Min.Z},
+		[3]float64{q.Max.X, q.Max.Y, q.Max.Z}, fn)
+}
+
+// Any reports whether some indexed point lies inside the box.
+func (t *Tree) Any(min, max [3]float64) bool {
+	return !t.Search(min, max, func(Point) bool { return false })
+}
+
+// MemoryBytes returns the index footprint: the point array plus the axis
+// tags.
+func (t *Tree) MemoryBytes() int64 {
+	return int64(len(t.pts))*28 + int64(len(t.axis))
+}
+
+// CheckInvariants validates the k-d ordering; tests use it. It returns
+// "" when the tree is well formed.
+func (t *Tree) CheckInvariants() string {
+	var check func(lo, hi, depth int) string
+	check = func(lo, hi, depth int) string {
+		if hi-lo <= 1 {
+			return ""
+		}
+		mid := (lo + hi) / 2
+		axis := depth % t.dims
+		c := t.pts[mid].coord(axis)
+		for i := lo; i < mid; i++ {
+			if t.pts[i].coord(axis) > c {
+				return "left subtree exceeds split"
+			}
+		}
+		for i := mid + 1; i < hi; i++ {
+			if t.pts[i].coord(axis) < c {
+				return "right subtree below split"
+			}
+		}
+		if msg := check(lo, mid, depth+1); msg != "" {
+			return msg
+		}
+		return check(mid+1, hi, depth+1)
+	}
+	return check(0, len(t.pts), 0)
+}

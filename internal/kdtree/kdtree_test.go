@@ -1,0 +1,137 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomPoints(rng *rand.Rand, n int, dims int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X:  rng.Float64() * 100,
+			Y:  rng.Float64() * 100,
+			ID: int32(i),
+		}
+		if dims == 3 {
+			pts[i].Z = float64(rng.Intn(1000))
+		}
+	}
+	return pts
+}
+
+func bruteSearch(pts []Point, min, max [3]float64, dims int) map[int32]bool {
+	out := make(map[int32]bool)
+	for _, p := range pts {
+		ok := p.X >= min[0] && p.X <= max[0] && p.Y >= min[1] && p.Y <= max[1]
+		if dims == 3 {
+			ok = ok && p.Z >= min[2] && p.Z <= max[2]
+		}
+		if ok {
+			out[p.ID] = true
+		}
+	}
+	return out
+}
+
+func TestSearchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dims := range []int{2, 3} {
+		for trial := 0; trial < 20; trial++ {
+			n := rng.Intn(600)
+			pts := randomPoints(rng, n, dims)
+			ref := append([]Point(nil), pts...)
+			tr := Build(pts, dims)
+			if msg := tr.CheckInvariants(); msg != "" {
+				t.Fatalf("dims %d trial %d: %s", dims, trial, msg)
+			}
+			if tr.Len() != n {
+				t.Fatalf("Len = %d", tr.Len())
+			}
+			for q := 0; q < 25; q++ {
+				min := [3]float64{rng.Float64() * 100, rng.Float64() * 100, float64(rng.Intn(1000))}
+				max := [3]float64{min[0] + rng.Float64()*30, min[1] + rng.Float64()*30, min[2] + float64(rng.Intn(300))}
+				want := bruteSearch(ref, min, max, dims)
+				got := make(map[int32]bool)
+				tr.Search(min, max, func(p Point) bool {
+					got[p.ID] = true
+					return true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("dims %d: got %d, want %d", dims, len(got), len(want))
+				}
+				for id := range want {
+					if !got[id] {
+						t.Fatalf("dims %d: missing %d", dims, id)
+					}
+				}
+				if tr.Any(min, max) != (len(want) > 0) {
+					t.Fatalf("Any wrong")
+				}
+			}
+		}
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr := Build(randomPoints(rng, 500, 3), 3)
+	count := 0
+	completed := tr.Search([3]float64{0, 0, 0}, [3]float64{100, 100, 1000}, func(Point) bool {
+		count++
+		return count < 4
+	})
+	if completed || count != 4 {
+		t.Errorf("completed=%v count=%d", completed, count)
+	}
+}
+
+func TestDuplicatesAndDegenerate(t *testing.T) {
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{X: 5, Y: 5, Z: 5, ID: int32(i)}
+	}
+	tr := Build(pts, 3)
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	count := 0
+	tr.Search([3]float64{0, 0, 0}, [3]float64{10, 10, 10}, func(Point) bool {
+		count++
+		return true
+	})
+	if count != 64 {
+		t.Errorf("count = %d, want 64", count)
+	}
+	if tr.Any([3]float64{6, 6, 6}, [3]float64{10, 10, 10}) {
+		t.Error("phantom hit")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tr := Build(nil, 3)
+	if tr.Any([3]float64{0, 0, 0}, [3]float64{1, 1, 1}) {
+		t.Error("empty tree hit")
+	}
+	tr = Build([]Point{{X: 1, Y: 2, Z: 3, ID: 7}}, 3)
+	if !tr.Any([3]float64{0, 0, 0}, [3]float64{5, 5, 5}) {
+		t.Error("single point missed")
+	}
+}
+
+func TestPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Build(nil, 4)
+}
+
+func TestMemoryBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := Build(randomPoints(rng, 100, 3), 3)
+	if tr.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+}

@@ -1,0 +1,155 @@
+package labeling
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/intervals"
+)
+
+// Dynamic is an interval-based labeling that accepts network updates —
+// the paper's first future-work item (§8: "investigate how our approach
+// can efficiently handle updates in the network"). It supports appending
+// vertices and inserting edges; labels are maintained incrementally by
+// propagating the target's label set to every vertex that can reach the
+// edge's source.
+//
+// New vertices receive fresh post-order numbers past the current
+// maximum. This keeps the post domain dense, so Lemma 3.1 queries and
+// descendant enumeration keep working unchanged, at the price of
+// compression quality: a heavily updated labeling accumulates more,
+// smaller intervals than a rebuild would produce (Rebuild restores the
+// optimum). Edge insertions that would create a cycle are rejected, as
+// interval labels cannot represent mutual reachability — callers should
+// re-condense and rebuild instead (paper §5).
+type Dynamic struct {
+	out, in [][]int32
+	post    []int32
+	order   []int32 // order[p-1] = vertex with post p
+	labels  []intervals.Set
+	opts    Options
+}
+
+// NewDynamic builds the labeling for g and returns its updatable form.
+func NewDynamic(g *graph.Graph, opts Options) *Dynamic {
+	l := Build(g, opts)
+	d := &Dynamic{
+		out:    make([][]int32, g.NumVertices()),
+		in:     make([][]int32, g.NumVertices()),
+		post:   append([]int32(nil), l.Post...),
+		order:  append([]int32(nil), l.Order...),
+		labels: l.Labels,
+		opts:   opts,
+	}
+	g.Edges(func(u, v int) {
+		d.out[u] = append(d.out[u], int32(v))
+		d.in[v] = append(d.in[v], int32(u))
+	})
+	return d
+}
+
+// NumVertices returns the current number of vertices.
+func (d *Dynamic) NumVertices() int { return len(d.post) }
+
+// AddVertex appends an isolated vertex and returns its id.
+func (d *Dynamic) AddVertex() int {
+	v := len(d.post)
+	p := int32(len(d.order) + 1)
+	d.post = append(d.post, p)
+	d.order = append(d.order, int32(v))
+	d.labels = append(d.labels, intervals.Singleton(p))
+	d.out = append(d.out, nil)
+	d.in = append(d.in, nil)
+	return v
+}
+
+// AddEdge inserts the directed edge (u, v) and updates the labels of u
+// and of every vertex that reaches u. It returns an error — leaving the
+// labeling unchanged — if the edge would create a cycle, or if an
+// endpoint is out of range. Duplicate edges and self-loops are no-ops.
+func (d *Dynamic) AddEdge(u, v int) error {
+	n := len(d.post)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("labeling: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return nil
+	}
+	if d.Reach(v, u) {
+		return fmt.Errorf("labeling: edge (%d,%d) would create a cycle; condense and rebuild", u, v)
+	}
+	for _, w := range d.out[u] {
+		if int(w) == v {
+			return nil // duplicate
+		}
+	}
+	d.out[u] = append(d.out[u], int32(v))
+	d.in[v] = append(d.in[v], int32(u))
+
+	// Propagate L(v) upwards from u through every vertex whose labels
+	// actually change; unchanged vertices prune the traversal because
+	// label coverage is monotone along reverse edges. The subset test
+	// runs allocation-free, so already-covering ancestors cost O(|L|).
+	add := d.labels[v]
+	queue := []int32{int32(u)}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if d.labels[w].CoversCanonical(add) {
+			continue
+		}
+		d.labels[w] = intervals.MergeCanonical(d.labels[w], add)
+		queue = append(queue, d.in[w]...)
+	}
+	return nil
+}
+
+// Reach reports whether v is reachable from u (Lemma 3.1).
+func (d *Dynamic) Reach(u, v int) bool {
+	return d.labels[u].ContainsCanonical(d.post[v])
+}
+
+// PostOf returns the post-order number of v.
+func (d *Dynamic) PostOf(v int) int32 { return d.post[v] }
+
+// Labels returns the current label set of v. The returned set is shared;
+// callers must not modify it.
+func (d *Dynamic) Labels(v int) intervals.Set { return d.labels[v] }
+
+// Descendants enumerates the descendant set of v including v itself; see
+// Labeling.Descendants.
+func (d *Dynamic) Descendants(v int, fn func(u int32) bool) bool {
+	for _, iv := range d.labels[v] {
+		for p := iv.Lo; p <= iv.Hi; p++ {
+			if !fn(d.order[p-1]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TotalLabels returns the current number of stored intervals, the metric
+// Rebuild improves.
+func (d *Dynamic) TotalLabels() int64 {
+	var total int64
+	for _, s := range d.labels {
+		total += int64(len(s))
+	}
+	return total
+}
+
+// Rebuild reconstructs the labeling from scratch over the accumulated
+// graph, restoring optimal post-order locality and compression.
+func (d *Dynamic) Rebuild() {
+	b := graph.NewBuilder(len(d.post))
+	for u, adj := range d.out {
+		for _, v := range adj {
+			b.AddEdge(u, int(v))
+		}
+	}
+	l := Build(b.Build(), d.opts)
+	d.post = append(d.post[:0], l.Post...)
+	d.order = append(d.order[:0], l.Order...)
+	d.labels = l.Labels
+}

@@ -1,0 +1,159 @@
+package labeling
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDynamicMatchesStaticAfterNoUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := randomDAG(rng, 30, 90)
+	d := NewDynamic(g, Options{})
+	for u := 0; u < 30; u++ {
+		reach := g.Reachable(u)
+		for v := 0; v < 30; v++ {
+			if d.Reach(u, v) != reach[v] {
+				t.Fatalf("Reach(%d,%d) wrong", u, v)
+			}
+		}
+	}
+}
+
+// mirror tracks the edge set alongside a Dynamic so reachability can be
+// recomputed from scratch as ground truth.
+type mirror struct {
+	n     int
+	edges [][2]int
+}
+
+func (m *mirror) graph() *graph.Graph { return graph.FromEdges(m.n, m.edges) }
+
+func TestDynamicInterleavedUpdatesAndQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(15)
+		g := randomDAG(rng, n, rng.Intn(2*n))
+		d := NewDynamic(g, Options{})
+		m := &mirror{n: n}
+		g.Edges(func(u, v int) { m.edges = append(m.edges, [2]int{u, v}) })
+
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(4) {
+			case 0: // add vertex
+				v := d.AddVertex()
+				m.n++
+				if v != m.n-1 {
+					t.Fatalf("AddVertex returned %d, want %d", v, m.n-1)
+				}
+			default: // add edge (may be rejected for cycles)
+				u, v := rng.Intn(m.n), rng.Intn(m.n)
+				err := d.AddEdge(u, v)
+				wouldCycle := u != v && m.graph().CanReach(v, u)
+				if wouldCycle {
+					if err == nil {
+						t.Fatalf("trial %d: cycle-creating edge (%d,%d) accepted", trial, u, v)
+					}
+				} else {
+					if err != nil {
+						t.Fatalf("trial %d: valid edge (%d,%d) rejected: %v", trial, u, v, err)
+					}
+					m.edges = append(m.edges, [2]int{u, v})
+				}
+			}
+			// Full verification every few steps (expensive).
+			if step%8 == 0 {
+				truth := m.graph()
+				for u := 0; u < m.n; u++ {
+					reach := truth.Reachable(u)
+					for v := 0; v < m.n; v++ {
+						if d.Reach(u, v) != reach[v] {
+							t.Fatalf("trial %d step %d: Reach(%d,%d) = %v, want %v",
+								trial, step, u, v, d.Reach(u, v), reach[v])
+						}
+					}
+				}
+			}
+		}
+		// Descendants remain exact after all updates.
+		truth := m.graph()
+		for v := 0; v < m.n; v++ {
+			want := truth.Reachable(v)
+			got := make([]bool, m.n)
+			d.Descendants(v, func(u int32) bool { got[u] = true; return true })
+			for u := 0; u < m.n; u++ {
+				if got[u] != want[u] {
+					t.Fatalf("trial %d: Descendants(%d) wrong at %d", trial, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicAddEdgeValidation(t *testing.T) {
+	d := NewDynamic(graph.FromEdges(3, [][2]int{{0, 1}}), Options{})
+	if err := d.AddEdge(0, 9); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := d.AddEdge(1, 1); err != nil {
+		t.Error("self-loop should be a silent no-op")
+	}
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Error("duplicate edge should be a silent no-op")
+	}
+	if err := d.AddEdge(1, 0); err == nil {
+		t.Error("cycle-creating edge accepted")
+	}
+	// The failed insert left the labeling untouched.
+	if d.Reach(1, 0) {
+		t.Error("rejected edge leaked into labels")
+	}
+}
+
+func TestDynamicRebuildCompacts(t *testing.T) {
+	// A chain built through updates accumulates fragmented labels; the
+	// rebuild compresses each vertex to a single interval.
+	d := NewDynamic(graph.FromEdges(1, nil), Options{})
+	const n = 40
+	for i := 1; i < n; i++ {
+		d.AddVertex()
+	}
+	// Insert chain edges in an order that fragments post-order locality.
+	for i := n - 2; i >= 0; i-- {
+		if err := d.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.TotalLabels()
+	d.Rebuild()
+	after := d.TotalLabels()
+	if after != n { // one interval per vertex on a chain
+		t.Errorf("after rebuild: %d labels, want %d", after, n)
+	}
+	if before < after {
+		t.Errorf("rebuild increased labels: %d -> %d", before, after)
+	}
+	// Queries still correct.
+	if !d.Reach(0, n-1) || d.Reach(n-1, 0) {
+		t.Error("rebuild broke reachability")
+	}
+}
+
+func TestDynamicNewVenueScenario(t *testing.T) {
+	// The geosocial update pattern: an existing user checks into a venue
+	// that did not exist yet.
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	d := NewDynamic(g, Options{})
+	venue := d.AddVertex()
+	if err := d.AddEdge(1, venue); err != nil {
+		t.Fatal(err)
+	}
+	// Both the check-in user and their follower reach the new venue.
+	if !d.Reach(1, venue) || !d.Reach(0, venue) {
+		t.Error("new venue not reachable")
+	}
+	if d.Reach(2, venue) {
+		t.Error("unrelated vertex reaches new venue")
+	}
+}

@@ -1,0 +1,58 @@
+package labeling
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzReadLabeling hardens the binary deserializer: arbitrary bytes must
+// either be rejected or yield a labeling whose invariants hold (valid
+// dense post numbers, in-range canonical-ish intervals).
+func FuzzReadLabeling(f *testing.F) {
+	// Seed with a few valid serializations and mutations thereof.
+	for _, n := range []int{1, 5, 12} {
+		g := randomDAGForFuzz(n)
+		l := Build(g, Options{})
+		var buf bytes.Buffer
+		if _, err := l.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 10 {
+			f.Add(buf.Bytes()[:buf.Len()/2])
+		}
+	}
+	f.Add([]byte("RRLB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadLabeling(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := l.NumVertices()
+		for v := 0; v < n; v++ {
+			p := l.Post[v]
+			if p < 1 || p > int32(n) || int(l.Order[p-1]) != v {
+				t.Fatal("accepted labeling with corrupt post numbering")
+			}
+			for _, iv := range l.Labels[v] {
+				if iv.Lo < 1 || iv.Hi > int32(n) || iv.Lo > iv.Hi {
+					t.Fatal("accepted labeling with out-of-range interval")
+				}
+			}
+		}
+	})
+}
+
+func randomDAGForFuzz(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v += 1 + u%3 {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,90 @@
+package labeling
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLabelingSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		l := Build(g, Options{})
+
+		var buf bytes.Buffer
+		written, err := l.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", written, buf.Len())
+		}
+		got, err := ReadLabeling(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumVertices() != n {
+			t.Fatal("vertex count changed")
+		}
+		for v := 0; v < n; v++ {
+			if got.Post[v] != l.Post[v] {
+				t.Fatalf("post of %d changed", v)
+			}
+			if !got.Labels[v].Equal(l.Labels[v]) {
+				t.Fatalf("labels of %d changed: %v vs %v", v, got.Labels[v], l.Labels[v])
+			}
+		}
+		if got.UncompressedCount != l.UncompressedCount || got.CompressedCount != l.CompressedCount {
+			t.Fatal("stats changed")
+		}
+		// Queries still work on the loaded labeling.
+		for u := 0; u < n; u++ {
+			reach := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				if got.Reach(u, v) != reach[v] {
+					t.Fatalf("loaded Reach(%d,%d) wrong", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReadLabelingRejectsCorruptInput(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(73)), 10, 20)
+	l := Build(g, Options{})
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad-magic":   append([]byte("XXXX"), valid[4:]...),
+		"bad-version": append(append([]byte{}, valid[:4]...), append([]byte{99}, valid[5:]...)...),
+		"truncated":   valid[:len(valid)/2],
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadLabeling(bytes.NewReader(input)); err == nil {
+				t.Error("corrupt input accepted")
+			}
+		})
+	}
+
+	// Corrupt post numbers: duplicate posts must be rejected.
+	corrupt := append([]byte{}, valid...)
+	// Posts start after magic(4) + version(1) + n(4) = offset 9; make the
+	// second post equal the first.
+	copy(corrupt[13:17], corrupt[9:13])
+	if _, err := ReadLabeling(bytes.NewReader(corrupt)); err == nil {
+		t.Error("duplicate post numbers accepted")
+	}
+
+	if _, err := ReadLabeling(strings.NewReader("RRLB\x01\xff\xff\xff\xff")); err == nil {
+		t.Error("implausible vertex count accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package rtree
+
+// Insert adds an entry to the tree (Guttman: ChooseLeaf by minimal
+// enlargement, quadratic split on overflow). Dynamic insertion lets the
+// library support the paper's future-work scenario of network updates
+// without rebuilding the spatial indexes.
+func (t *Tree[B]) Insert(e Entry[B]) {
+	t.size++
+	if t.root == nil {
+		t.root = &node[B]{leaf: true, entries: []Entry[B]{e}, bounds: e.Box}
+		return
+	}
+	split := t.insert(t.root, e)
+	if split != nil {
+		old := t.root
+		t.root = &node[B]{children: []*node[B]{old, split}}
+		t.root.recomputeBounds()
+	}
+}
+
+// insert places e below n and returns a new sibling of n if n overflowed
+// and was split, or nil.
+func (t *Tree[B]) insert(n *node[B], e Entry[B]) *node[B] {
+	n.bounds = n.bounds.Union(e.Box)
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	child := chooseSubtree(n.children, e.Box)
+	split := t.insert(child, e)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.maxEntries {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child requiring the least enlargement to cover
+// box, breaking ties by smaller measure.
+func chooseSubtree[B Bound[B]](children []*node[B], box B) *node[B] {
+	best := children[0]
+	bestEnl := best.bounds.Enlargement(box)
+	bestMeasure := best.bounds.Measure()
+	for _, c := range children[1:] {
+		enl := c.bounds.Enlargement(box)
+		if enl < bestEnl || (enl == bestEnl && c.bounds.Measure() < bestMeasure) {
+			best, bestEnl, bestMeasure = c, enl, c.bounds.Measure()
+		}
+	}
+	return best
+}
+
+// splitLeaf splits an overflowing leaf with the quadratic algorithm and
+// returns the new sibling.
+func (t *Tree[B]) splitLeaf(n *node[B]) *node[B] {
+	boxes := make([]B, len(n.entries))
+	for i, e := range n.entries {
+		boxes[i] = e.Box
+	}
+	groupA, groupB := quadraticSplit(boxes, t.minEntries)
+	entries := n.entries
+	n.entries = pick(entries, groupA)
+	sib := &node[B]{leaf: true, entries: pick(entries, groupB)}
+	n.recomputeBounds()
+	sib.recomputeBounds()
+	return sib
+}
+
+// splitInternal splits an overflowing internal node.
+func (t *Tree[B]) splitInternal(n *node[B]) *node[B] {
+	boxes := make([]B, len(n.children))
+	for i, c := range n.children {
+		boxes[i] = c.bounds
+	}
+	groupA, groupB := quadraticSplit(boxes, t.minEntries)
+	children := n.children
+	n.children = pick(children, groupA)
+	sib := &node[B]{children: pick(children, groupB)}
+	n.recomputeBounds()
+	sib.recomputeBounds()
+	return sib
+}
+
+func pick[T any](items []T, idx []int) []T {
+	out := make([]T, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, items[i])
+	}
+	return out
+}
+
+// quadraticSplit partitions the indexes of boxes into two groups using
+// Guttman's quadratic seeds + least-enlargement assignment, ensuring each
+// group receives at least minEntries members.
+func quadraticSplit[B Bound[B]](boxes []B, minEntries int) (groupA, groupB []int) {
+	if minEntries < 1 {
+		minEntries = 1
+	}
+	// Seeds: the pair wasting the most measure when combined.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < len(boxes); i++ {
+		for j := i + 1; j < len(boxes); j++ {
+			waste := boxes[i].Union(boxes[j]).Measure() - boxes[i].Measure() - boxes[j].Measure()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	groupA = append(groupA, seedA)
+	groupB = append(groupB, seedB)
+	boundsA, boundsB := boxes[seedA], boxes[seedB]
+
+	rest := make([]int, 0, len(boxes)-2)
+	for i := range boxes {
+		if i != seedA && i != seedB {
+			rest = append(rest, i)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must absorb the remainder to reach minEntries, do so.
+		if len(groupA)+len(rest) <= minEntries {
+			groupA = append(groupA, rest...)
+			break
+		}
+		if len(groupB)+len(rest) <= minEntries {
+			groupB = append(groupB, rest...)
+			break
+		}
+		// Pick the member with the strongest preference.
+		bestIdx, bestDiff, bestPos := -1, -1.0, 0
+		for pos, i := range rest {
+			dA := boundsA.Enlargement(boxes[i])
+			dB := boundsB.Enlargement(boxes[i])
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx, bestPos = diff, i, pos
+			}
+		}
+		rest = append(rest[:bestPos], rest[bestPos+1:]...)
+		dA := boundsA.Enlargement(boxes[bestIdx])
+		dB := boundsB.Enlargement(boxes[bestIdx])
+		toA := dA < dB
+		if dA == dB {
+			toA = boundsA.Measure() < boundsB.Measure()
+			if boundsA.Measure() == boundsB.Measure() {
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, bestIdx)
+			boundsA = boundsA.Union(boxes[bestIdx])
+		} else {
+			groupB = append(groupB, bestIdx)
+			boundsB = boundsB.Union(boxes[bestIdx])
+		}
+	}
+	return groupA, groupB
+}

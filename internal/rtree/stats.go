@@ -1,0 +1,122 @@
+package rtree
+
+// SetLeafBoundBytes overrides the per-leaf-entry bound size used by
+// MemoryBytes. The paper's Table 4 distinguishes R-trees over points
+// (16/24 bytes in 2D/3D), vertical segments and full boxes; a tree built
+// over point data can account for point-sized leaf payloads even though
+// the implementation stores a degenerate box. Pass 0 to restore the
+// structural size.
+func (t *Tree[B]) SetLeafBoundBytes(bytes int) { t.leafBoundBytes = bytes }
+
+// boundBytes returns the structural size of a bound of type B: 16 bytes
+// per dimension pair of float64 corners.
+func (t *Tree[B]) boundBytes() int {
+	var probe B
+	return 16 * probe.Dims()
+}
+
+// MemoryBytes returns the approximate footprint of the tree: per leaf
+// entry the bound payload plus a 4-byte id, per internal child a full
+// bound plus a pointer. This is the index-size accounting behind
+// Table 4.
+func (t *Tree[B]) MemoryBytes() int64 {
+	if t.root == nil {
+		return 0
+	}
+	full := t.boundBytes()
+	leafBytes := t.leafBoundBytes
+	if leafBytes <= 0 {
+		leafBytes = full
+	}
+	var total int64
+	var walk func(n *node[B])
+	walk = func(n *node[B]) {
+		total += int64(full) // node bounds
+		if n.leaf {
+			total += int64(len(n.entries)) * int64(leafBytes+4)
+			return
+		}
+		total += int64(len(n.children)) * 8
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree[B]) NumNodes() int {
+	if t.root == nil {
+		return 0
+	}
+	count := 0
+	var walk func(n *node[B])
+	walk = func(n *node[B]) {
+		count++
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return count
+}
+
+// CheckInvariants validates structural invariants (bounds cover children,
+// fan-out limits, uniform leaf depth) and returns the first violation as
+// a non-empty string, or "" when the tree is well formed. Tests use it.
+func (t *Tree[B]) CheckInvariants() string {
+	if t.root == nil {
+		if t.size != 0 {
+			return "empty root but non-zero size"
+		}
+		return ""
+	}
+	leafDepth := -1
+	seen := 0
+	var walk func(n *node[B], depth int) string
+	walk = func(n *node[B], depth int) string {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return "leaves at different depths"
+			}
+			if len(n.entries) == 0 {
+				return "empty leaf"
+			}
+			if len(n.entries) > t.maxEntries {
+				return "leaf over fan-out"
+			}
+			seen += len(n.entries)
+			for _, e := range n.entries {
+				if !n.bounds.Contains(e.Box) {
+					return "leaf bounds do not cover entry"
+				}
+			}
+			return ""
+		}
+		if len(n.children) == 0 {
+			return "internal node without children"
+		}
+		if len(n.children) > t.maxEntries {
+			return "internal node over fan-out"
+		}
+		for _, c := range n.children {
+			if !n.bounds.Contains(c.bounds) {
+				return "node bounds do not cover child"
+			}
+			if msg := walk(c, depth+1); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	if msg := walk(t.root, 0); msg != "" {
+		return msg
+	}
+	if seen != t.size {
+		return "size mismatch"
+	}
+	return ""
+}

@@ -1,0 +1,112 @@
+package spatialgrid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X:  rng.Float64() * 100,
+			Y:  rng.Float64() * 100,
+			Z:  float64(rng.Intn(1000)),
+			ID: int32(i),
+		}
+	}
+	return pts
+}
+
+func TestSearchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(800)
+		pts := randomPoints(rng, n)
+		g := New(pts, 1+rng.Intn(16))
+		if g.Len() != n {
+			t.Fatalf("Len = %d", g.Len())
+		}
+		for q := 0; q < 25; q++ {
+			min := [3]float64{rng.Float64() * 100, rng.Float64() * 100, float64(rng.Intn(1000))}
+			max := [3]float64{min[0] + rng.Float64()*40, min[1] + rng.Float64()*40, min[2] + float64(rng.Intn(400))}
+			want := make(map[int32]bool)
+			for _, p := range pts {
+				if p.X >= min[0] && p.X <= max[0] && p.Y >= min[1] && p.Y <= max[1] &&
+					p.Z >= min[2] && p.Z <= max[2] {
+					want[p.ID] = true
+				}
+			}
+			got := make(map[int32]bool)
+			g.Search(min, max, func(p Point) bool {
+				got[p.ID] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("trial %d: missing %d", trial, id)
+				}
+			}
+			if g.Any(min, max) != (len(want) > 0) {
+				t.Fatal("Any wrong")
+			}
+		}
+	}
+}
+
+func TestQueryLargerThanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := randomPoints(rng, 200)
+	g := New(pts, 8)
+	count := 0
+	g.Search([3]float64{-1e9, -1e9, -1e9}, [3]float64{1e9, 1e9, 1e9}, func(Point) bool {
+		count++
+		return true
+	})
+	if count != 200 {
+		t.Errorf("count = %d, want 200", count)
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := New(randomPoints(rng, 500), 8)
+	count := 0
+	completed := g.Search([3]float64{0, 0, 0}, [3]float64{100, 100, 1000}, func(Point) bool {
+		count++
+		return count < 3
+	})
+	if completed || count != 3 {
+		t.Errorf("completed=%v count=%d", completed, count)
+	}
+}
+
+func TestDegenerateData(t *testing.T) {
+	// All points identical: one cell per axis.
+	pts := make([]Point, 50)
+	for i := range pts {
+		pts[i] = Point{X: 3, Y: 3, Z: 3, ID: int32(i)}
+	}
+	g := New(pts, 4)
+	count := 0
+	g.Search([3]float64{0, 0, 0}, [3]float64{5, 5, 5}, func(Point) bool { count++; return true })
+	if count != 50 {
+		t.Errorf("count = %d", count)
+	}
+	if g.Any([3]float64{4, 4, 4}, [3]float64{9, 9, 9}) {
+		t.Error("phantom hit")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	g := New(nil, 0)
+	if g.Any([3]float64{0, 0, 0}, [3]float64{1, 1, 1}) {
+		t.Error("empty grid hit")
+	}
+	if g.MemoryBytes() < 0 {
+		t.Error("negative memory")
+	}
+}

@@ -1,0 +1,91 @@
+package rangereach
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// ErrNotPersistable reports that an index's method has no save format.
+// Persistable methods: ThreeDReach, ThreeDReachRev, SocReach,
+// SpaReachBFL, SpaReachINT and GeoReach — the ones whose index state
+// dominates build time. The rest rebuild quickly from the network.
+var ErrNotPersistable = core.ErrNotPersistable
+
+// Save writes the index's reachability state to w. Reload it with
+// Network.LoadIndex over the same network; spatial structures are
+// rebuilt on load by bulk loading, which is cheap.
+func (idx *Index) Save(w io.Writer) error {
+	return core.SaveEngine(w, idx.engine)
+}
+
+// SaveFile writes the index to the named file.
+func (idx *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("rangereach: %w", err)
+	}
+	if err := idx.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index saved with Index.Save and attaches it to the
+// network, which must be identical to the one the index was built over.
+func (n *Network) LoadIndex(r io.Reader, options ...Option) (*Index, error) {
+	var cfg buildConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	res, err := core.LoadEngine(r, n.prep, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	m := methodFromCore(res.Method)
+	return &Index{
+		net:    n,
+		method: m,
+		engine: res.Engine,
+		stats:  IndexStats{Method: m, Bytes: res.Bytes},
+	}, nil
+}
+
+// LoadIndexFile reads an index from the named file.
+func (n *Network) LoadIndexFile(path string, options ...Option) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rangereach: %w", err)
+	}
+	defer f.Close()
+	return n.LoadIndex(f, options...)
+}
+
+// methodFromCore maps internal method ids back to public ones.
+func methodFromCore(m core.Method) Method {
+	switch m {
+	case core.MethodThreeDReach:
+		return ThreeDReach
+	case core.MethodThreeDReachRev:
+		return ThreeDReachRev
+	case core.MethodSocReach:
+		return SocReach
+	case core.MethodSpaReachBFL:
+		return SpaReachBFL
+	case core.MethodSpaReachINT:
+		return SpaReachINT
+	case core.MethodGeoReach:
+		return GeoReach
+	case core.MethodSpaReachPLL:
+		return SpaReachPLL
+	case core.MethodSpaReachFeline:
+		return SpaReachFeline
+	case core.MethodSpaReachGRAIL:
+		return SpaReachGRAIL
+	default:
+		return Naive
+	}
+}

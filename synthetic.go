@@ -1,0 +1,73 @@
+package rangereach
+
+import "repro/internal/dataset"
+
+// SyntheticConfig parameterizes the synthetic geosocial network
+// generator, the stand-in for the paper's proprietary check-in datasets
+// (see DESIGN.md §3).
+type SyntheticConfig struct {
+	// Name labels the dataset.
+	Name string
+	// Users and Venues are the social and spatial vertex counts.
+	Users, Venues int
+	// AvgFriends and AvgCheckins are mean per-user out-degrees for
+	// friendship and check-in edges.
+	AvgFriends, AvgCheckins float64
+	// GiantSCC forces all users into one strongly connected component
+	// (the Gowalla/WeePlaces regime); otherwise only CoreFraction of the
+	// users form the largest SCC (the Foursquare/Yelp regime).
+	GiantSCC bool
+	// CoreFraction is the core size for the fragmented regime (default
+	// 0.5).
+	CoreFraction float64
+	// Clusters is the number of spatial clusters venues are drawn from.
+	Clusters int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateSynthetic builds a synthetic geosocial network.
+func GenerateSynthetic(cfg SyntheticConfig) *Network {
+	regime := dataset.Fragmented
+	if cfg.GiantSCC {
+		regime = dataset.GiantSCC
+	}
+	return wrap(dataset.Generate(dataset.GenConfig{
+		Name:         cfg.Name,
+		Users:        cfg.Users,
+		Venues:       cfg.Venues,
+		AvgFriends:   cfg.AvgFriends,
+		AvgCheckins:  cfg.AvgCheckins,
+		Regime:       regime,
+		CoreFraction: cfg.CoreFraction,
+		Clusters:     cfg.Clusters,
+		Seed:         cfg.Seed,
+	}))
+}
+
+// The four preset generators mirror the structure of the paper's
+// evaluation datasets (Table 3) at roughly 1% scale when scale == 1.
+
+// FoursquareLike generates a Foursquare-structured network: user-heavy
+// with 87% of the users in the largest SCC.
+func FoursquareLike(scale float64, seed int64) *Network {
+	return wrap(dataset.FoursquareLike(scale, seed))
+}
+
+// GowallaLike generates a Gowalla-structured network: venue-heavy with
+// all users in one giant SCC.
+func GowallaLike(scale float64, seed int64) *Network {
+	return wrap(dataset.GowallaLike(scale, seed))
+}
+
+// WeeplacesLike generates a WeePlaces-structured network: an extreme
+// venue-to-user ratio with a single giant user SCC.
+func WeeplacesLike(scale float64, seed int64) *Network {
+	return wrap(dataset.WeeplacesLike(scale, seed))
+}
+
+// YelpLike generates a Yelp-structured network: very user-heavy with
+// only 45% of users in the largest SCC.
+func YelpLike(scale float64, seed int64) *Network {
+	return wrap(dataset.YelpLike(scale, seed))
+}
