@@ -3,6 +3,7 @@ package rangereach
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Query is one RangeReach query for batch evaluation.
@@ -30,18 +31,17 @@ func (idx *Index) RangeReachBatch(queries []Query, parallelism int) []bool {
 		}
 		return out
 	}
-	var next int64
+	// Work stealing off a single atomic cursor: each worker claims the
+	// next chunk with one AddInt64, no lock on the hot path. Claims may
+	// overshoot len(queries); workers clamp locally.
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	var mu sync.Mutex
 	take := func(chunk int) (lo, hi int) {
-		mu.Lock()
-		defer mu.Unlock()
-		lo = int(next)
-		hi = lo + chunk
+		hi = int(next.Add(int64(chunk)))
+		lo = hi - chunk
 		if hi > len(queries) {
 			hi = len(queries)
 		}
-		next = int64(hi)
 		return lo, hi
 	}
 	const chunk = 16

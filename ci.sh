@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ci.sh — the checks every PR must keep green.
+#
+#   ./ci.sh        vet + build (all packages, including cmd/rrserve)
+#                  + full test suite + race-exercised concurrency tests
+#   ./ci.sh -short skips the race pass
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build (all packages and binaries) =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+if [[ "${1:-}" != "-short" ]]; then
+    # The concurrency-sensitive packages: the root package (batch
+    # work-stealing, dynamic snapshots) and the serving subsystem
+    # (snapshot swaps, result cache, metrics).
+    echo "== go test -race (concurrency surfaces) =="
+    go test -race . ./internal/server ./internal/metrics ./internal/core
+fi
+
+echo "CI OK"

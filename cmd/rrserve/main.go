@@ -1,0 +1,173 @@
+// Command rrserve is a long-lived RangeReach query server: it loads a
+// geosocial network (or generates a synthetic preset), builds an index
+// — or loads a persisted one — and answers queries over an HTTP/JSON
+// API until terminated.
+//
+// Usage:
+//
+//	rrserve -net foursquare.gsn -method 3dreach -addr :8080
+//	rrserve -net foursquare.gsn -load-index foursquare.idx
+//	rrserve -synthetic gowalla-like -scale 0.5 -dynamic
+//
+// Endpoints:
+//
+//	POST /v1/query   {"vertex":42,"region":[13.3,52.4,13.5,52.6]}
+//	POST /v1/batch   {"queries":[{"vertex":42,"region":[...]}, ...]}
+//	POST /v1/update  {"op":"add_venue","x":13.4,"y":52.5}   (dynamic mode)
+//	GET  /healthz
+//	GET  /metrics    Prometheus text format
+//
+// Static mode (-method) serves reads lock-free; dynamic mode (-dynamic)
+// serializes updates onto a single writer and publishes immutable
+// snapshots, so queries never block on updates. SIGINT/SIGTERM triggers
+// a graceful shutdown that drains in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	rangereach "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		netPath   = flag.String("net", "", "network file in geosocial format")
+		synthetic = flag.String("synthetic", "", "generate a preset instead: foursquare-like, gowalla-like, weeplaces-like, yelp-like")
+		scale     = flag.Float64("scale", 0.1, "synthetic preset scale")
+		seed      = flag.Int64("seed", 1, "synthetic preset seed")
+		method    = flag.String("method", "3dreach", "3dreach, 3dreach-rev, socreach, spareach-bfl, spareach-int, spareach-pll, spareach-feline, spareach-grail, georeach, naive")
+		dynamic   = flag.Bool("dynamic", false, "serve the updatable 3DReach index (enables /v1/update)")
+		loadIdx   = flag.String("load-index", "", "load a persisted index instead of building (-method is ignored)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheN    = flag.Int("cache", 4096, "result cache entries (negative disables)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request budget")
+		par       = flag.Int("parallelism", 0, "static batch fan-out (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	net, err := loadNetwork(*netPath, *synthetic, *scale, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		CacheEntries: *cacheN,
+		QueryTimeout: *timeout,
+		Parallelism:  *par,
+	}
+	mode := "static"
+	switch {
+	case *dynamic:
+		mode = "dynamic"
+		cfg.Dynamic = net.BuildDynamic()
+	case *loadIdx != "":
+		cfg.Index, err = net.LoadIndexFile(*loadIdx)
+	default:
+		m, ok := methodByName(*method)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rrserve: unknown method %q\n", *method)
+			os.Exit(2)
+		}
+		cfg.Index, err = net.Build(m)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rrserve: serving %q (%s, |V|=%d |E|=%d |P|=%d) on %s\n",
+		net.Name(), mode, net.NumVertices(), net.NumEdges(), net.NumSpatial(), *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, drain in-flight requests,
+		// then stop the update goroutine (srv.Close via defer).
+		fmt.Fprintln(os.Stderr, "rrserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "rrserve: shutdown: %v\n", err)
+		}
+	}
+}
+
+// loadNetwork resolves -net / -synthetic into a network.
+func loadNetwork(path, synthetic string, scale float64, seed int64) (*rangereach.Network, error) {
+	switch {
+	case path != "" && synthetic != "":
+		return nil, errors.New("-net and -synthetic are mutually exclusive")
+	case path != "":
+		return rangereach.LoadNetwork(path)
+	case synthetic != "":
+		switch strings.ToLower(synthetic) {
+		case "foursquare-like":
+			return rangereach.FoursquareLike(scale, seed), nil
+		case "gowalla-like":
+			return rangereach.GowallaLike(scale, seed), nil
+		case "weeplaces-like":
+			return rangereach.WeeplacesLike(scale, seed), nil
+		case "yelp-like":
+			return rangereach.YelpLike(scale, seed), nil
+		default:
+			return nil, fmt.Errorf("unknown preset %q", synthetic)
+		}
+	default:
+		return nil, errors.New("need -net or -synthetic")
+	}
+}
+
+func methodByName(name string) (rangereach.Method, bool) {
+	switch strings.ToLower(name) {
+	case "3dreach":
+		return rangereach.ThreeDReach, true
+	case "3dreach-rev":
+		return rangereach.ThreeDReachRev, true
+	case "socreach":
+		return rangereach.SocReach, true
+	case "spareach-bfl":
+		return rangereach.SpaReachBFL, true
+	case "spareach-int":
+		return rangereach.SpaReachINT, true
+	case "georeach":
+		return rangereach.GeoReach, true
+	case "spareach-pll":
+		return rangereach.SpaReachPLL, true
+	case "spareach-feline":
+		return rangereach.SpaReachFeline, true
+	case "spareach-grail":
+		return rangereach.SpaReachGRAIL, true
+	case "naive":
+		return rangereach.Naive, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	rangereach "repro"
+)
+
+func TestLoadNetwork(t *testing.T) {
+	if _, err := loadNetwork("", "", 1, 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadNetwork("x.gsn", "yelp-like", 1, 1); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadNetwork("", "atlantis-like", 1, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	net, err := loadNetwork("", "Gowalla-Like", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumVertices() == 0 {
+		t.Error("empty synthetic network")
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	got, ok := methodByName("SpaReach-BFL")
+	if !ok || got != rangereach.SpaReachBFL {
+		t.Errorf("methodByName(SpaReach-BFL) = %v,%v", got, ok)
+	}
+	if _, ok := methodByName("quantum"); ok {
+		t.Error("unknown method accepted")
+	}
+}

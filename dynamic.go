@@ -10,6 +10,12 @@ import (
 // numbers are append-only, so updates never invalidate the spatial
 // index; only the interval labels of affected vertices change.
 //
+// A DynamicIndex has a single-writer concurrency model: updates and
+// direct queries must be issued from one goroutine (or be externally
+// serialized), but Snapshot returns an immutable view that any number
+// of goroutines may query concurrently while the writer keeps updating.
+// This is the primitive behind the rrserve snapshot-swap serving mode.
+//
 // Edges that would create a new cycle between existing components are
 // rejected; rebuild via Network.Build after re-adding such edges to the
 // underlying network.
@@ -45,3 +51,28 @@ func (idx *DynamicIndex) RangeReach(v int, r Rect) bool {
 
 // MemoryBytes returns the current index footprint.
 func (idx *DynamicIndex) MemoryBytes() int64 { return idx.engine.MemoryBytes() }
+
+// DynamicSnapshot is an immutable point-in-time view of a DynamicIndex.
+// It is safe for concurrent use by any number of goroutines, including
+// while the index it was taken from continues to be updated by its
+// single writer. Taking a snapshot costs O(vertices) slice-header
+// copies; the bulk spatial structure is shared, never copied.
+type DynamicSnapshot struct {
+	snap *core.DynamicSnapshot
+}
+
+// Snapshot captures the index's current state. Must be called from the
+// writer (the same goroutine — or critical section — that issues
+// updates); the returned snapshot itself is freely shareable.
+func (idx *DynamicIndex) Snapshot() *DynamicSnapshot {
+	return &DynamicSnapshot{snap: idx.engine.Snapshot()}
+}
+
+// NumVertices returns the number of vertices at capture time.
+func (s *DynamicSnapshot) NumVertices() int { return s.snap.NumVertices() }
+
+// RangeReach reports whether vertex v reached a spatial vertex inside r
+// at capture time. It panics if v is out of the snapshot's range.
+func (s *DynamicSnapshot) RangeReach(v int, r Rect) bool {
+	return s.snap.RangeReach(v, r.internal())
+}

@@ -9,21 +9,44 @@ import (
 	"repro/internal/rtree"
 )
 
+// dynOverlayMin is the overlay size below which the base tree is never
+// rebuilt; past it the rebuild triggers once the overlay reaches an
+// eighth of the total entry count, keeping insert cost amortized
+// logarithmic while bounding the linear overlay scan per query.
+const dynOverlayMin = 128
+
 // DynamicThreeDReach is the updatable variant of 3DReach, realizing the
 // paper's future-work direction of handling network updates (§8). It
-// combines the incremental interval labeling (labeling.Dynamic) with the
-// R-tree's dynamic inserts: new venues become new 3D points, new edges
-// only touch label sets, and queries stay exactly the 3DReach cuboid
-// searches — post-order numbers never change once assigned, so existing
-// R-tree entries remain valid forever.
+// combines the incremental interval labeling (labeling.Dynamic) with a
+// static-dynamic spatial decomposition: the bulk of the 3D points lives
+// in an immutable bulk-loaded R-tree (the base), venues added since the
+// last rebuild sit in a small linear overlay, and the base is rebuilt
+// from scratch whenever the overlay grows past a fraction of the total.
+// Post-order numbers never change once assigned, so base entries remain
+// valid forever; queries stay exactly the 3DReach cuboid searches plus a
+// bounded overlay scan.
+//
+// Because the base tree is never mutated after construction — only
+// replaced wholesale — Snapshot can publish it by pointer, which is what
+// makes cheap immutable snapshots (and thus concurrent serving) possible.
 //
 // The engine operates on the SCC condensation of the initial network
 // (Replicate policy). Edges that would merge two components — i.e.
 // create a new cycle — are rejected; re-prepare and rebuild to absorb
 // them, as in the static pipeline.
 type DynamicThreeDReach struct {
-	dl   *labeling.Dynamic
-	tree *rtree.Tree[geom.Box3]
+	dl *labeling.Dynamic
+
+	// base is immutable once built: inserts go to overlay, and rebuilds
+	// replace the pointer with a tree packed over a private copy of
+	// entries (BulkLoad leaves alias their input slice, so published
+	// snapshots sharing an old base must never see it re-sorted).
+	base    *rtree.Tree[geom.Box3]
+	overlay []rtree.Entry[geom.Box3] // venues not yet in base
+	entries []rtree.Entry[geom.Box3] // all spatial entries, rebuild input
+
+	hasExtents bool
+	fanout     int
 
 	// comp maps original vertices (including ones added later) to DAG
 	// component ids.
@@ -35,26 +58,35 @@ type DynamicThreeDReach struct {
 // network.
 func NewDynamicThreeDReach(prep *dataset.Prepared, opts ThreeDOptions) *DynamicThreeDReach {
 	e := &DynamicThreeDReach{
-		dl:   labeling.NewDynamic(prep.DAG, labeling.Options{Forest: opts.Forest}),
-		comp: append([]int32(nil), prep.Comp...),
-		n:    prep.Net.NumVertices(),
+		dl:         labeling.NewDynamic(prep.DAG, labeling.Options{Forest: opts.Forest}),
+		comp:       append([]int32(nil), prep.Comp...),
+		n:          prep.Net.NumVertices(),
+		hasExtents: prep.Net.HasExtents(),
+		fanout:     opts.Fanout,
 	}
-	var entries []rtree.Entry[geom.Box3]
 	for v, s := range prep.Net.Spatial {
 		if s {
 			c := prep.CompOf(v)
 			z := float64(e.dl.PostOf(int(c)))
-			entries = append(entries, rtree.Entry[geom.Box3]{
+			e.entries = append(e.entries, rtree.Entry[geom.Box3]{
 				Box: geom.Box3FromRect(prep.Net.GeometryOf(v), z, z),
 				ID:  int32(v),
 			})
 		}
 	}
-	e.tree = rtree.BulkLoad(entries, opts.Fanout)
-	if !prep.Net.HasExtents() {
-		e.tree.SetLeafBoundBytes(24)
-	}
+	e.rebuildBase()
 	return e
+}
+
+// rebuildBase packs a fresh base tree over a copy of all entries and
+// empties the overlay. The copy keeps e.entries private: BulkLoad both
+// reorders its input and aliases it from the leaves.
+func (e *DynamicThreeDReach) rebuildBase() {
+	e.base = rtree.BulkLoad(append([]rtree.Entry[geom.Box3](nil), e.entries...), e.fanout)
+	if !e.hasExtents {
+		e.base.SetLeafBoundBytes(24)
+	}
+	e.overlay = nil
 }
 
 // NumVertices returns the current number of original vertices.
@@ -75,10 +107,15 @@ func (e *DynamicThreeDReach) AddVenue(x, y float64) int {
 	e.n++
 	v := e.n - 1
 	z := float64(e.dl.PostOf(c))
-	e.tree.Insert(rtree.Entry[geom.Box3]{
+	entry := rtree.Entry[geom.Box3]{
 		Box: geom.Box3FromPoint(geom.Pt3(x, y, z)),
 		ID:  int32(v),
-	})
+	}
+	e.entries = append(e.entries, entry)
+	e.overlay = append(e.overlay, entry)
+	if len(e.overlay) >= dynOverlayMin && len(e.overlay)*8 >= len(e.entries) {
+		e.rebuildBase()
+	}
 	return v
 }
 
@@ -93,22 +130,32 @@ func (e *DynamicThreeDReach) AddEdge(u, v int) error {
 	if cu == cv {
 		return nil
 	}
-	return e.dl.AddEdge(int(cu), int(cv))
+	if err := e.dl.AddEdge(int(cu), int(cv)); err != nil {
+		// Report the caller's vertex ids, not internal component ids.
+		return fmt.Errorf("core: edge (%d,%d) would create a cycle; condense and rebuild", u, v)
+	}
+	return nil
 }
 
 // Name implements Engine.
 func (e *DynamicThreeDReach) Name() string { return "3DReach-Dynamic" }
 
 // RangeReach implements Engine with the standard 3DReach evaluation:
-// one cuboid query per current label of the query vertex.
+// one cuboid query per current label of the query vertex, first against
+// the base tree, then against the overlay.
 func (e *DynamicThreeDReach) RangeReach(v int, r geom.Rect) bool {
 	if v < 0 || v >= e.n {
 		panic(fmt.Sprintf("core: vertex %d out of range [0,%d)", v, e.n))
 	}
 	for _, iv := range e.dl.Labels(int(e.comp[v])) {
 		q := geom.Box3FromRect(r, float64(iv.Lo), float64(iv.Hi))
-		if _, ok := e.tree.SearchAny(q); ok {
+		if _, ok := e.base.SearchAny(q); ok {
 			return true
+		}
+		for _, entry := range e.overlay {
+			if entry.Box.Intersects(q) {
+				return true
+			}
 		}
 	}
 	return false
@@ -116,9 +163,56 @@ func (e *DynamicThreeDReach) RangeReach(v int, r geom.Rect) bool {
 
 // MemoryBytes implements Engine.
 func (e *DynamicThreeDReach) MemoryBytes() int64 {
-	var labels int64
-	labels = e.dl.TotalLabels() * 8
-	return labels + e.tree.MemoryBytes() + int64(4*len(e.comp))
+	labels := e.dl.TotalLabels() * 8
+	overlay := int64(len(e.overlay)) * 28 // 24-byte point + 4-byte id
+	return labels + e.base.MemoryBytes() + overlay + int64(4*len(e.comp))
 }
 
 var _ Engine = (*DynamicThreeDReach)(nil)
+
+// DynamicSnapshot is an immutable point-in-time view of a
+// DynamicThreeDReach, safe for concurrent use by any number of
+// goroutines while the owning engine continues to absorb updates on its
+// single writer. Taking one costs O(n) slice-header copies plus a copy
+// of the (bounded) overlay; the base R-tree is shared by pointer since
+// it is never mutated in place.
+type DynamicSnapshot struct {
+	view    labeling.View
+	base    *rtree.Tree[geom.Box3]
+	overlay []rtree.Entry[geom.Box3]
+	comp    []int32
+	n       int
+}
+
+// Snapshot captures the engine's current state.
+func (e *DynamicThreeDReach) Snapshot() *DynamicSnapshot {
+	return &DynamicSnapshot{
+		view:    e.dl.View(),
+		base:    e.base,
+		overlay: append([]rtree.Entry[geom.Box3](nil), e.overlay...),
+		comp:    append([]int32(nil), e.comp...),
+		n:       e.n,
+	}
+}
+
+// NumVertices returns the number of vertices at capture time.
+func (s *DynamicSnapshot) NumVertices() int { return s.n }
+
+// RangeReach answers the query against the captured state.
+func (s *DynamicSnapshot) RangeReach(v int, r geom.Rect) bool {
+	if v < 0 || v >= s.n {
+		panic(fmt.Sprintf("core: vertex %d out of range [0,%d)", v, s.n))
+	}
+	for _, iv := range s.view.Labels(int(s.comp[v])) {
+		q := geom.Box3FromRect(r, float64(iv.Lo), float64(iv.Hi))
+		if _, ok := s.base.SearchAny(q); ok {
+			return true
+		}
+		for _, e := range s.overlay {
+			if e.Box.Intersects(q) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -172,3 +172,45 @@ func TestDynamicThreeDReachGrowsFromEmpty(t *testing.T) {
 		t.Error("engine metadata wrong")
 	}
 }
+
+// TestDynamicOverlayRebuild crosses the overlay flush threshold so the
+// base tree is rebuilt mid-stream, and checks that answers — live and
+// through snapshots taken before the rebuild — stay correct throughout.
+func TestDynamicOverlayRebuild(t *testing.T) {
+	net := &dataset.Network{
+		Name:    "seed",
+		Graph:   graph.FromEdges(1, nil),
+		Spatial: []bool{false},
+		Points:  make([]geom.Point, 1),
+	}
+	e := NewDynamicThreeDReach(dataset.Prepare(net), ThreeDOptions{})
+	user := 0
+
+	var snaps []*DynamicSnapshot
+	for i := 0; i < 3*dynOverlayMin; i++ {
+		x := float64(i % 100)
+		y := float64(i / 100)
+		v := e.AddVenue(x, y)
+		if err := e.AddEdge(user, v); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			snaps = append(snaps, e.Snapshot())
+		}
+		// Every added venue must be findable right away, across the
+		// overlay/base boundary.
+		if !e.RangeReach(user, geom.NewRect(x, y, x, y)) {
+			t.Fatalf("venue %d at (%g,%g) not reachable after insert", i, x, y)
+		}
+	}
+	// Snapshots remain frozen at their capture sizes.
+	for si, s := range snaps {
+		if s.NumVertices() >= e.NumVertices() {
+			t.Errorf("snapshot %d not frozen: %d vertices vs live %d", si, s.NumVertices(), e.NumVertices())
+		}
+		// A venue added before the capture stays visible in the snapshot.
+		if !s.RangeReach(user, geom.NewRect(0, 0, 0, 0)) {
+			t.Errorf("snapshot %d lost venue at origin", si)
+		}
+	}
+}

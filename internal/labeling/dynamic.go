@@ -139,6 +139,43 @@ func (d *Dynamic) TotalLabels() int64 {
 	return total
 }
 
+// View is an immutable point-in-time copy of a Dynamic labeling. The
+// copy is shallow: interval sets are shared with the live labeling,
+// which is safe because AddEdge never mutates a stored set in place — it
+// replaces the header with a freshly allocated merge (MergeCanonical)
+// and post-order numbers are append-only. A View therefore costs O(n)
+// header copies to take and is safe for concurrent use by any number of
+// goroutines while the owning Dynamic keeps absorbing updates.
+type View struct {
+	post   []int32
+	labels []intervals.Set
+}
+
+// View captures the current labeling state. The caller may keep using
+// the Dynamic (single-writer) while any number of readers query the
+// returned View.
+func (d *Dynamic) View() View {
+	return View{
+		post:   append([]int32(nil), d.post...),
+		labels: append([]intervals.Set(nil), d.labels...),
+	}
+}
+
+// NumVertices returns the number of vertices at capture time.
+func (v View) NumVertices() int { return len(v.post) }
+
+// PostOf returns the post-order number of u at capture time.
+func (v View) PostOf(u int) int32 { return v.post[u] }
+
+// Labels returns the label set of u at capture time. The set is shared;
+// callers must not modify it.
+func (v View) Labels(u int) intervals.Set { return v.labels[u] }
+
+// Reach reports whether w was reachable from u at capture time.
+func (v View) Reach(u, w int) bool {
+	return v.labels[u].ContainsCanonical(v.post[w])
+}
+
 // Rebuild reconstructs the labeling from scratch over the accumulated
 // graph, restoring optimal post-order locality and compression.
 func (d *Dynamic) Rebuild() {

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rr_test_total", "test counter")
+	g := r.Gauge("rr_test_inflight", "test gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rr_test_total counter",
+		"rr_test_total 5",
+		"# TYPE rr_test_inflight gauge",
+		"rr_test_inflight 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // +Inf bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	wantSum := 50*0.005 + 40*0.05 + 10*5.0
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+	// Median lands in the first bucket (50 of 100 observations ≤ 0.01).
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Errorf("p50 = %g, want in (0, 0.01]", q)
+	}
+	// p90 exhausts the second bucket exactly.
+	if q := h.Quantile(0.9); math.Abs(q-0.1) > 1e-9 {
+		t.Errorf("p90 = %g, want 0.1", q)
+	}
+	// p99 is in the +Inf bucket: clamped to the top finite bound.
+	if q := h.Quantile(0.99); q != 1 {
+		t.Errorf("p99 = %g, want 1 (clamp)", q)
+	}
+	if q := h.Quantile(0.5); q != h.Quantile(0.5) {
+		t.Errorf("quantile not deterministic")
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`rr_query_seconds{mode="static"}`, "latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(7)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rr_query_seconds histogram",
+		`rr_query_seconds_bucket{mode="static",le="0.01"} 1`,
+		`rr_query_seconds_bucket{mode="static",le="0.1"} 2`,
+		`rr_query_seconds_bucket{mode="static",le="+Inf"} 3`,
+		`rr_query_seconds_count{mode="static"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSharedHeaderForLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`rr_reqs_total{endpoint="query"}`, "requests").Inc()
+	r.Counter(`rr_reqs_total{endpoint="batch"}`, "requests").Add(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "# TYPE rr_reqs_total counter"); got != 1 {
+		t.Errorf("TYPE header rendered %d times, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, `rr_reqs_total{endpoint="query"} 1`) ||
+		!strings.Contains(out, `rr_reqs_total{endpoint="batch"} 2`) {
+		t.Errorf("labeled series missing:\n%s", out)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rr_c_total", "c")
+	h := r.Histogram("rr_h_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want 8", h.Sum())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup_total", "a")
+	r.Counter("dup_total", "b")
+}

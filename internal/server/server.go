@@ -1,0 +1,423 @@
+// Package server implements the rrserve HTTP serving subsystem: a
+// long-lived process that holds a RangeReach index hot and answers
+// queries over an HTTP/JSON API.
+//
+// Endpoints:
+//
+//	POST /v1/query   one RangeReach query
+//	POST /v1/batch   a batch, fanned out over RangeReachBatch
+//	POST /v1/update  add_user / add_venue / add_edge (dynamic mode)
+//	GET  /healthz    liveness + mode + index info
+//	GET  /metrics    Prometheus text exposition
+//
+// Static indexes serve reads lock-free — every static Index is safe for
+// concurrent queries by construction. Dynamic mode uses a single-writer
+// snapshot-swap design (see updater): mutations serialize onto one
+// goroutine and publish immutable DynamicSnapshots through an atomic
+// pointer, so readers never block on writers. A sharded LRU cache memoizes
+// single-query answers keyed on (vertex, region) and stamped with the
+// snapshot generation; a swap invalidates the whole cache by generation
+// mismatch without touching entries.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	rangereach "repro"
+	"repro/internal/metrics"
+)
+
+// Config assembles a Server. Exactly one of Index (static mode) or
+// Dynamic (dynamic mode) must be set.
+type Config struct {
+	// Index serves static mode: lock-free concurrent reads, updates
+	// rejected.
+	Index *rangereach.Index
+	// Dynamic serves dynamic mode through the snapshot-swap updater.
+	Dynamic *rangereach.DynamicIndex
+	// CacheEntries sizes the result cache (default 4096; negative
+	// disables caching).
+	CacheEntries int
+	// QueryTimeout bounds each request (default 2s).
+	QueryTimeout time.Duration
+	// Parallelism is the static batch fan-out (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxBatch caps the queries accepted per batch request (default
+	// 8192).
+	MaxBatch int
+}
+
+// Server answers RangeReach queries over HTTP. Create with New, expose
+// via Handler, and Close when done to stop the update goroutine.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *queryCache
+	dyn   *updater // nil in static mode
+
+	reg        *metrics.Registry
+	mReqQuery  *metrics.Counter
+	mReqBatch  *metrics.Counter
+	mReqUpdate *metrics.Counter
+	mQueries   *metrics.Counter
+	mUpdates   *metrics.Counter
+	mUpdErrs   *metrics.Counter
+	mReqErrs   *metrics.Counter
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mSwaps     *metrics.Counter
+	mInflight  *metrics.Gauge
+	mLatency   *metrics.Histogram
+}
+
+// New builds a Server over the given index.
+func New(cfg Config) (*Server, error) {
+	if (cfg.Index == nil) == (cfg.Dynamic == nil) {
+		return nil, errors.New("server: exactly one of Config.Index and Config.Dynamic must be set")
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 2 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8192
+	}
+	s := &Server{cfg: cfg, reg: metrics.NewRegistry()}
+	s.mReqQuery = s.reg.Counter(`rr_requests_total{endpoint="query"}`, "HTTP requests by endpoint.")
+	s.mReqBatch = s.reg.Counter(`rr_requests_total{endpoint="batch"}`, "HTTP requests by endpoint.")
+	s.mReqUpdate = s.reg.Counter(`rr_requests_total{endpoint="update"}`, "HTTP requests by endpoint.")
+	s.mQueries = s.reg.Counter("rr_queries_total", "RangeReach queries evaluated, including batch members.")
+	s.mUpdates = s.reg.Counter("rr_updates_total", "Accepted network updates.")
+	s.mUpdErrs = s.reg.Counter("rr_update_errors_total", "Rejected network updates (cycles, bad input).")
+	s.mReqErrs = s.reg.Counter("rr_request_errors_total", "Requests answered with a non-2xx status.")
+	s.mHits = s.reg.Counter("rr_cache_hits_total", "Result cache hits.")
+	s.mMisses = s.reg.Counter("rr_cache_misses_total", "Result cache misses.")
+	s.mSwaps = s.reg.Counter("rr_snapshot_swaps_total", "Snapshots published by the dynamic updater.")
+	s.mInflight = s.reg.Gauge("rr_inflight_requests", "Requests currently being served.")
+	s.mLatency = s.reg.Histogram("rr_query_seconds", "End-to-end latency of query and batch requests.", nil)
+
+	if cfg.CacheEntries >= 0 {
+		n := cfg.CacheEntries
+		if n == 0 {
+			n = 4096
+		}
+		s.cache = newQueryCache(n)
+	}
+	if cfg.Dynamic != nil {
+		s.dyn = newUpdater(cfg.Dynamic, s.mSwaps)
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/query", s.instrument(s.mReqQuery, s.handleQuery))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument(s.mReqBatch, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/update", s.instrument(s.mReqUpdate, s.handleUpdate))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the dynamic updater, failing queued updates with
+// errClosed. In-flight HTTP requests should be drained first
+// (http.Server.Shutdown does).
+func (s *Server) Close() {
+	if s.dyn != nil {
+		s.dyn.close()
+	}
+}
+
+// Metrics exposes the registry (for embedding rrserve elsewhere).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// instrument wraps a handler with the request counter, the in-flight
+// gauge, the latency histogram, and the per-request timeout context.
+func (s *Server) instrument(reqs *metrics.Counter, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		s.mInflight.Inc()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		h(w, r.WithContext(ctx))
+		cancel()
+		s.mLatency.Observe(time.Since(start).Seconds())
+		s.mInflight.Dec()
+	}
+}
+
+// ---- wire types ----
+
+// queryRequest is one RangeReach query: a vertex and a region given as
+// [xmin, ymin, xmax, ymax] (corners in any order).
+type queryRequest struct {
+	Vertex int        `json:"vertex"`
+	Region [4]float64 `json:"region"`
+}
+
+type queryResponse struct {
+	Reachable bool   `json:"reachable"`
+	Cached    bool   `json:"cached"`
+	Gen       uint64 `json:"gen"`
+	Micros    int64  `json:"micros"`
+}
+
+type batchRequest struct {
+	Queries     []queryRequest `json:"queries"`
+	Parallelism int            `json:"parallelism"`
+}
+
+type batchResponse struct {
+	Results []bool `json:"results"`
+	Gen     uint64 `json:"gen"`
+	Micros  int64  `json:"micros"`
+}
+
+type updateRequest struct {
+	Op   string  `json:"op"` // add_user | add_venue | add_edge
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+}
+
+type updateResponse struct {
+	// ID is the new vertex id for add_user/add_venue; absent for edges.
+	ID  *int   `json:"id,omitempty"`
+	Gen uint64 `json:"gen"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if status >= 400 {
+		s.mReqErrs.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// view resolves the read path once per request: the engine to query,
+// the vertex-count bound, and the cache generation it belongs to. In
+// dynamic mode the whole request is served from one snapshot, so even a
+// batch sees a consistent point-in-time state.
+type view struct {
+	static *rangereach.Index
+	snap   *rangereach.DynamicSnapshot
+	gen    uint64
+}
+
+func (s *Server) currentView() view {
+	if s.dyn != nil {
+		p := s.dyn.current()
+		return view{snap: p.snap, gen: p.gen}
+	}
+	return view{static: s.cfg.Index}
+}
+
+func (v view) numVertices() int {
+	if v.snap != nil {
+		return v.snap.NumVertices()
+	}
+	return v.static.Network().NumVertices()
+}
+
+func (v view) rangeReach(vertex int, r rangereach.Rect) bool {
+	if v.snap != nil {
+		return v.snap.RangeReach(vertex, r)
+	}
+	return v.static.RangeReach(vertex, r)
+}
+
+// ---- handlers ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	start := time.Now()
+	v := s.currentView()
+	if req.Vertex < 0 || req.Vertex >= v.numVertices() {
+		s.writeError(w, http.StatusBadRequest, "vertex %d out of range [0,%d)", req.Vertex, v.numVertices())
+		return
+	}
+	rect := rangereach.NewRect(req.Region[0], req.Region[1], req.Region[2], req.Region[3])
+	key := cacheKey{vertex: req.Vertex, region: rect}
+	if s.cache != nil {
+		if val, ok := s.cache.Get(key, v.gen); ok {
+			s.mHits.Inc()
+			s.writeJSON(w, http.StatusOK, queryResponse{
+				Reachable: val, Cached: true, Gen: v.gen,
+				Micros: time.Since(start).Microseconds(),
+			})
+			return
+		}
+		s.mMisses.Inc()
+	}
+	ans := v.rangeReach(req.Vertex, rect)
+	s.mQueries.Inc()
+	if s.cache != nil {
+		s.cache.Put(key, v.gen, ans)
+	}
+	s.writeJSON(w, http.StatusOK, queryResponse{
+		Reachable: ans, Gen: v.gen,
+		Micros: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
+		return
+	}
+	start := time.Now()
+	v := s.currentView()
+	n := v.numVertices()
+	queries := make([]rangereach.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		if q.Vertex < 0 || q.Vertex >= n {
+			s.writeError(w, http.StatusBadRequest, "query %d: vertex %d out of range [0,%d)", i, q.Vertex, n)
+			return
+		}
+		queries[i] = rangereach.Query{
+			Vertex: q.Vertex,
+			Region: rangereach.NewRect(q.Region[0], q.Region[1], q.Region[2], q.Region[3]),
+		}
+	}
+	results, err := s.evalBatch(r.Context(), v, queries, req.Parallelism)
+	if err != nil {
+		s.writeError(w, http.StatusGatewayTimeout, "batch: %v", err)
+		return
+	}
+	s.mQueries.Add(int64(len(queries)))
+	s.writeJSON(w, http.StatusOK, batchResponse{
+		Results: results, Gen: v.gen,
+		Micros: time.Since(start).Microseconds(),
+	})
+}
+
+// evalBatch answers the batch against the resolved view. Static mode
+// fans out through RangeReachBatch in a goroutine so the request
+// context stays enforceable; dynamic mode walks the snapshot serially,
+// checking the deadline between chunks (snapshot queries are
+// single-digit microseconds, so chunked cancellation is tight enough).
+func (s *Server) evalBatch(ctx context.Context, v view, queries []rangereach.Query, parallelism int) ([]bool, error) {
+	if v.static != nil {
+		if parallelism <= 0 {
+			parallelism = s.cfg.Parallelism
+		}
+		done := make(chan []bool, 1)
+		go func() { done <- v.static.RangeReachBatch(queries, parallelism) }()
+		select {
+		case res := <-done:
+			return res, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	out := make([]bool, len(queries))
+	const chunk = 64
+	for lo := 0; lo < len(queries); lo += chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = v.snap.RangeReach(queries[i].Vertex, queries[i].Region)
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.dyn == nil {
+		s.writeError(w, http.StatusNotImplemented, "updates require dynamic mode (rrserve -dynamic)")
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	var op updateOp
+	switch req.Op {
+	case "add_user":
+		op = updateOp{kind: opAddUser}
+	case "add_venue":
+		op = updateOp{kind: opAddVenue, x: req.X, y: req.Y}
+	case "add_edge":
+		op = updateOp{kind: opAddEdge, from: req.From, to: req.To}
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown op %q (want add_user, add_venue or add_edge)", req.Op)
+		return
+	}
+	res := s.dyn.submit(r.Context(), op)
+	if res.err != nil {
+		s.mUpdErrs.Inc()
+		status := http.StatusConflict // cycle / out-of-range rejections
+		switch {
+		case errors.Is(res.err, errClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+			status = http.StatusGatewayTimeout
+		}
+		s.writeError(w, status, "%v", res.err)
+		return
+	}
+	s.mUpdates.Inc()
+	resp := updateResponse{Gen: s.dyn.current().gen}
+	if op.kind != opAddEdge {
+		resp.ID = &res.id
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// healthzResponse reports liveness plus basic index facts.
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Mode     string `json:"mode"`
+	Method   string `json:"method"`
+	Vertices int    `json:"vertices"`
+	Gen      uint64 `json:"gen"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	v := s.currentView()
+	resp := healthzResponse{Status: "ok", Vertices: v.numVertices(), Gen: v.gen}
+	if s.dyn != nil {
+		resp.Mode, resp.Method = "dynamic", "3DReach-Dynamic"
+	} else {
+		resp.Mode, resp.Method = "static", s.cfg.Index.Method().String()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 )
@@ -21,17 +22,36 @@ func (idx *Index) Save(w io.Writer) error {
 	return core.SaveEngine(w, idx.engine)
 }
 
-// SaveFile writes the index to the named file.
+// SaveFile writes the index to the named file atomically: the bytes go
+// to a temporary file in the same directory which is renamed over the
+// destination only after a successful write and close, so a crash
+// mid-save never leaves a truncated index behind.
 func (idx *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return fmt.Errorf("rangereach: %w", err)
 	}
+	tmp := f.Name()
 	if err := idx.Save(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rangereach: %w", err)
+	}
+	// CreateTemp opens 0600; restore the 0644 a plain Create would give.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rangereach: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rangereach: %w", err)
+	}
+	return nil
 }
 
 // LoadIndex reads an index saved with Index.Save and attaches it to the
