@@ -3,7 +3,9 @@
 #
 #   ./ci.sh        vet + build (all packages, including cmd/rrserve)
 #                  + full test suite + race-exercised concurrency tests
-#   ./ci.sh -short skips the race pass
+#                  + trace-overhead benchmark under -race
+#                  + rrbench -json smoke run
+#   ./ci.sh -short skips the race passes
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,6 +24,18 @@ if [[ "${1:-}" != "-short" ]]; then
     # (snapshot swaps, result cache, metrics).
     echo "== go test -race (concurrency surfaces) =="
     go test -race . ./internal/server ./internal/metrics ./internal/core
+
+    # The trace hook sits on every query's hot path; run the overhead
+    # benchmark under the race detector so the instrumentation itself is
+    # exercised for data races (the timings are not meaningful here).
+    echo "== trace-overhead benchmark under -race =="
+    go test -race -run '^$' -bench BenchmarkTraceOverhead -benchtime 50x .
 fi
+
+echo "== rrbench -json smoke =="
+go run ./cmd/rrbench -exp table3 -scale 0.05 -queries 20 \
+    -datasets weeplaces-like -json /tmp/rrbench-smoke.json >/dev/null
+python3 -c "import json; json.load(open('/tmp/rrbench-smoke.json'))" 2>/dev/null \
+    || grep -q '"schema": "rrbench/v1"' /tmp/rrbench-smoke.json
 
 echo "CI OK"

@@ -6,7 +6,11 @@
 //
 //	rrbench [-exp all|table3|table4|table5|table6|fig5|fig6|fig7|ablation-forest|ablation-compression|ablation-socreach|ablation-spareach|ablation-3d|ablation-streaming|latency|negative]
 //	        [-scale 1.0] [-queries 200] [-seed 1] [-datasets foursquare-like,gowalla-like,...]
-//	        [-csv figures.csv]
+//	        [-csv figures.csv] [-json bench.json]
+//
+// -json writes a machine-readable performance report (per dataset and
+// method: build time, index size, latency percentiles) regardless of
+// -exp; use it to track regressions across commits.
 //
 // Absolute latencies depend on the host; the paper's findings are about
 // ordering and trend shapes, which EXPERIMENTS.md records.
@@ -29,6 +33,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for datasets and workloads")
 		datasets = flag.String("datasets", "", "comma-separated preset subset (default: all four)")
 		csvPath  = flag.String("csv", "", "also write figure series to this CSV file (tidy long format)")
+		jsonPath = flag.String("json", "", "write a machine-readable perf report (build/size/latency per method) to this file")
 	)
 	flag.Parse()
 
@@ -101,5 +106,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "rrbench: figure data written to %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WritePerfJSON(f, s.PerfReport()); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "rrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rrbench: perf report written to %s\n", *jsonPath)
 	}
 }

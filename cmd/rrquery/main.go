@@ -9,6 +9,10 @@
 // Each query is `vertex xmin ymin xmax ymax`; the batch file holds one
 // query per line ('#' comments allowed). The answer is TRUE when the
 // vertex reaches a spatial vertex inside the region.
+//
+// With -explain each query also prints its execution profile: the work
+// counters relevant to the chosen method (labels inspected, index nodes
+// visited, candidates probed, ...) and the per-stage timing breakdown.
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 		query   = flag.String("q", "", "single query: `vertex xmin ymin xmax ymax`")
 		batch   = flag.String("batch", "", "file with one query per line")
 		verbose = flag.Bool("v", false, "print index build stats")
+		explain = flag.Bool("explain", false, "print each query's execution profile")
 		saveIdx = flag.String("save-index", "", "after building, persist the index to this file")
 		loadIdx = flag.String("load-index", "", "load a persisted index instead of building (-method is ignored)")
 	)
@@ -89,6 +94,13 @@ func main() {
 		if v < 0 || v >= net.NumVertices() {
 			return fmt.Errorf("vertex %d out of range [0,%d)", v, net.NumVertices())
 		}
+		if *explain {
+			ans, qs := idx.Explain(v, r)
+			fmt.Printf("RangeReach(%d, [%g,%g]x[%g,%g]) = %v  (%v)\n",
+				v, r.MinX, r.MaxX, r.MinY, r.MaxY, ans, qs.Duration)
+			printStats(qs)
+			return nil
+		}
 		start := time.Now()
 		ans := idx.RangeReach(v, r)
 		fmt.Printf("RangeReach(%d, [%g,%g]x[%g,%g]) = %v  (%v)\n",
@@ -129,6 +141,34 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "rrquery: need -q or -batch")
 		os.Exit(2)
+	}
+}
+
+// printStats pretty-prints the EXPLAIN profile: the method, the
+// non-zero work counters, and the stage timing breakdown.
+func printStats(qs rangereach.QueryStats) {
+	fmt.Printf("  method           %s\n", qs.Method)
+	rows := []struct {
+		name string
+		v    int64
+	}{
+		{"labels inspected", qs.Labels},
+		{"index nodes", qs.IndexNodes},
+		{"index leaves", qs.IndexLeaves},
+		{"index entries", qs.IndexEntries},
+		{"candidates", qs.Candidates},
+		{"reach probes", qs.ReachProbes},
+		{"graph visited", qs.GraphVisited},
+		{"enumerated", qs.Enumerated},
+		{"member tests", qs.Members},
+	}
+	for _, row := range rows {
+		if row.v != 0 {
+			fmt.Printf("  %-16s %d\n", row.name, row.v)
+		}
+	}
+	for _, st := range qs.Stages {
+		fmt.Printf("  stage %-10s %v\n", st.Stage, st.Duration)
 	}
 }
 

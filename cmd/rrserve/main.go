@@ -14,6 +14,7 @@
 //	POST /v1/query   {"vertex":42,"region":[13.3,52.4,13.5,52.6]}
 //	POST /v1/batch   {"queries":[{"vertex":42,"region":[...]}, ...]}
 //	POST /v1/update  {"op":"add_venue","x":13.4,"y":52.5}   (dynamic mode)
+//	GET  /v1/explain?vertex=42&region=13.3,52.4,13.5,52.6
 //	GET  /healthz
 //	GET  /metrics    Prometheus text format
 //
@@ -21,6 +22,12 @@
 // serializes updates onto a single writer and publishes immutable
 // snapshots, so queries never block on updates. SIGINT/SIGTERM triggers
 // a graceful shutdown that drains in-flight requests.
+//
+// Observability: -log picks the request-log format (text, json, off),
+// -slow-query elevates slow requests to warnings, -trace-sample N runs
+// every Nth query through the tracing path (feeding the
+// rr_stage_seconds histograms on /metrics), and -debug-addr exposes
+// net/http/pprof on a separate listener that should stay private.
 package main
 
 import (
@@ -28,7 +35,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,8 +61,18 @@ func main() {
 		cacheN    = flag.Int("cache", 4096, "result cache entries (negative disables)")
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request budget")
 		par       = flag.Int("parallelism", 0, "static batch fan-out (0 = GOMAXPROCS)")
+		logMode   = flag.String("log", "text", "request log format: text, json, off")
+		slowQ     = flag.Duration("slow-query", 250*time.Millisecond, "elevate slower requests to warnings (0 disables)")
+		traceN    = flag.Int("trace-sample", 0, "trace every Nth query into the rr_stage_seconds histograms (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; keep private)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
+		os.Exit(2)
+	}
 
 	net, err := loadNetwork(*netPath, *synthetic, *scale, *seed)
 	if err != nil {
@@ -65,6 +84,9 @@ func main() {
 		CacheEntries: *cacheN,
 		QueryTimeout: *timeout,
 		Parallelism:  *par,
+		Logger:       logger,
+		SlowQuery:    *slowQ,
+		TraceSample:  *traceN,
 	}
 	mode := "static"
 	switch {
@@ -97,6 +119,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debugMux()); err != nil {
+				fmt.Fprintf(os.Stderr, "rrserve: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "rrserve: pprof on %s/debug/pprof/\n", *debugAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "rrserve: serving %q (%s, |V|=%d |E|=%d |P|=%d) on %s\n",
@@ -118,6 +149,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rrserve: shutdown: %v\n", err)
 		}
 	}
+}
+
+// buildLogger resolves the -log flag. Logs go to stderr, keeping stdout
+// free for redirection.
+func buildLogger(mode string) (*slog.Logger, error) {
+	switch strings.ToLower(mode) {
+	case "off", "none", "":
+		return nil, nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log mode %q (want text, json or off)", mode)
+	}
+}
+
+// debugMux serves net/http/pprof on its own mux: the profiling surface
+// never touches the query listener, so -addr can stay public while
+// -debug-addr binds to localhost.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // loadNetwork resolves -net / -synthetic into a network.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -178,6 +179,44 @@ func TestLatencyProfile(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "p99") {
 		t.Error("report missing percentiles")
+	}
+}
+
+func TestPerfReport(t *testing.T) {
+	s, _ := tinySuite(t, "weeplaces-like")
+	r := s.PerfReport()
+	if r.Schema != PerfSchema {
+		t.Errorf("schema = %q", r.Schema)
+	}
+	if len(r.Datasets) != 1 {
+		t.Fatalf("%d datasets", len(r.Datasets))
+	}
+	ds := r.Datasets[0]
+	if ds.Name != "weeplaces-like" || ds.Vertices == 0 || ds.Edges == 0 || ds.SCCs == 0 {
+		t.Errorf("dataset stats: %+v", ds)
+	}
+	if len(ds.Methods) != len(core.AllMethods) {
+		t.Fatalf("%d method rows, want %d", len(ds.Methods), len(core.AllMethods))
+	}
+	for _, mr := range ds.Methods {
+		if mr.IndexBytes <= 0 {
+			t.Errorf("%s: index bytes %d", mr.Method, mr.IndexBytes)
+		}
+		if mr.AvgMicros <= 0 || mr.MaxMicros < mr.P99Micros || mr.P99Micros < mr.P50Micros {
+			t.Errorf("%s: latency row not sane: %+v", mr.Method, mr)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WritePerfJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Datasets[0].Methods[0].Method != ds.Methods[0].Method {
+		t.Error("round-trip lost method names")
 	}
 }
 

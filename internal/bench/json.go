@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// PerfReport is the machine-readable benchmark artifact behind
+// rrbench -json: per dataset and method, the offline costs (build time,
+// index size) and the online latency distribution on the default
+// workload. The schema field versions the layout so downstream tooling
+// can detect changes.
+type PerfReport struct {
+	Schema  string  `json:"schema"`
+	Scale   float64 `json:"scale"`
+	Queries int     `json:"queries"`
+	Seed    int64   `json:"seed"`
+
+	Datasets []DatasetReport `json:"datasets"`
+}
+
+// PerfSchema identifies the current PerfReport layout.
+const PerfSchema = "rrbench/v1"
+
+// DatasetReport is one dataset's slice of the report.
+type DatasetReport struct {
+	Name     string         `json:"name"`
+	Vertices int            `json:"vertices"`
+	Edges    int            `json:"edges"`
+	Venues   int            `json:"venues"`
+	SCCs     int            `json:"sccs"`
+	Methods  []MethodReport `json:"methods"`
+}
+
+// MethodReport is one method's offline and online costs on a dataset.
+// Latencies are in microseconds — the natural unit of the paper's
+// figures.
+type MethodReport struct {
+	Method      string  `json:"method"`
+	BuildMillis float64 `json:"build_ms"`
+	IndexBytes  int64   `json:"index_bytes"`
+	AvgMicros   float64 `json:"avg_us"`
+	P50Micros   float64 `json:"p50_us"`
+	P95Micros   float64 `json:"p95_us"`
+	P99Micros   float64 `json:"p99_us"`
+	MaxMicros   float64 `json:"max_us"`
+	Positives   int     `json:"positives"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// PerfReport measures every method on every configured dataset under
+// the default workload and assembles the machine-readable report.
+func (s *Suite) PerfReport() PerfReport {
+	report := PerfReport{
+		Schema:  PerfSchema,
+		Scale:   s.cfg.Scale,
+		Queries: s.cfg.Queries,
+		Seed:    s.cfg.Seed,
+	}
+	for ds := range s.nets {
+		st := s.nets[ds].ComputeStats()
+		dr := DatasetReport{
+			Name:     s.nets[ds].Name,
+			Vertices: st.Vertices,
+			Edges:    st.Edges,
+			Venues:   st.Venues,
+			SCCs:     st.SCCs,
+		}
+		qs := s.gens[ds].Batch(s.cfg.Queries, workload.DefaultExtent, workload.DefaultDegreeBucket)
+		for _, m := range core.AllMethods {
+			res := s.engine(ds, m, dataset.Replicate)
+			lat := measureLatencies(res.Engine, qs)
+			dr.Methods = append(dr.Methods, MethodReport{
+				Method:      m.String(),
+				BuildMillis: float64(res.BuildTime.Nanoseconds()) / 1e6,
+				IndexBytes:  res.Bytes,
+				AvgMicros:   micros(lat.Avg),
+				P50Micros:   micros(lat.P50),
+				P95Micros:   micros(lat.P95),
+				P99Micros:   micros(lat.P99),
+				MaxMicros:   micros(lat.Max),
+				Positives:   positives(res.Engine, qs),
+			})
+		}
+		report.Datasets = append(report.Datasets, dr)
+	}
+	return report
+}
+
+// WritePerfJSON renders the report as indented JSON.
+func WritePerfJSON(w io.Writer, r PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

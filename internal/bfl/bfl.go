@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // DefaultBits is the default Bloom-filter width in bits. Su et al. use
@@ -193,6 +194,14 @@ func (idx *Index) prunable(v, u int) bool {
 
 // Reach answers GReach(v, u): whether g contains a path from v to u.
 func (idx *Index) Reach(v, u int) bool {
+	return idx.ReachTraced(v, u, nil)
+}
+
+// ReachTraced is Reach with instrumentation: every vertex expanded by
+// the pruned-DFS fallback counts as a visited graph vertex (the O(1)
+// interval and Bloom tests are free by design and not counted). A nil
+// sp makes it exactly Reach.
+func (idx *Index) ReachTraced(v, u int, sp *trace.Span) bool {
 	if v == u {
 		return true
 	}
@@ -204,11 +213,12 @@ func (idx *Index) Reach(v, u int) bool {
 	}
 	// Pruned DFS fallback.
 	visited := make(map[int32]struct{}, 64)
-	return idx.search(int32(v), int32(u), visited)
+	return idx.search(int32(v), int32(u), visited, sp)
 }
 
-func (idx *Index) search(v, target int32, visited map[int32]struct{}) bool {
+func (idx *Index) search(v, target int32, visited map[int32]struct{}, sp *trace.Span) bool {
 	visited[v] = struct{}{}
+	sp.IncGraphVisited()
 	for _, u := range idx.g.Out(int(v)) {
 		if u == target {
 			return true
@@ -222,7 +232,7 @@ func (idx *Index) search(v, target int32, visited map[int32]struct{}) bool {
 		if idx.prunable(int(u), int(target)) {
 			continue
 		}
-		if idx.search(u, target, visited) {
+		if idx.search(u, target, visited, sp) {
 			return true
 		}
 	}

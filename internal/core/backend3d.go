@@ -7,6 +7,7 @@ import (
 	"repro/internal/kdtree"
 	"repro/internal/rtree"
 	"repro/internal/spatialgrid"
+	"repro/internal/trace"
 )
 
 // SpatialBackend selects the 3D point index behind 3DReach (Replicate
@@ -39,9 +40,10 @@ func (b SpatialBackend) String() string {
 }
 
 // pointIndex3 abstracts "is there any indexed 3D point inside this box?"
-// — the only primitive point-based 3DReach needs.
+// — the only primitive point-based 3DReach needs. The span threads the
+// per-backend work counters out; nil disables them.
 type pointIndex3 interface {
-	AnyInBox(q geom.Box3) bool
+	AnyInBox(q geom.Box3, sp *trace.Span) bool
 	MemoryBytes() int64
 }
 
@@ -82,8 +84,8 @@ func buildPointIndex3(pts []point3, backend SpatialBackend, fanout int) pointInd
 
 type rtreeIndex struct{ t *rtree.Tree[geom.Box3] }
 
-func (r rtreeIndex) AnyInBox(q geom.Box3) bool {
-	_, ok := r.t.SearchAny(q)
+func (r rtreeIndex) AnyInBox(q geom.Box3, sp *trace.Span) bool {
+	_, ok := r.t.SearchAnyTraced(q, sp)
 	return ok
 }
 
@@ -91,16 +93,16 @@ func (r rtreeIndex) MemoryBytes() int64 { return r.t.MemoryBytes() }
 
 type kdtreeIndex struct{ t *kdtree.Tree }
 
-func (k kdtreeIndex) AnyInBox(q geom.Box3) bool {
-	return !k.t.SearchBox3(q, func(kdtree.Point) bool { return false })
+func (k kdtreeIndex) AnyInBox(q geom.Box3, sp *trace.Span) bool {
+	return !k.t.SearchBox3Traced(q, sp, func(kdtree.Point) bool { return false })
 }
 
 func (k kdtreeIndex) MemoryBytes() int64 { return k.t.MemoryBytes() }
 
 type gridIndex struct{ g *spatialgrid.Grid }
 
-func (g gridIndex) AnyInBox(q geom.Box3) bool {
-	return !g.g.SearchBox3(q, func(spatialgrid.Point) bool { return false })
+func (g gridIndex) AnyInBox(q geom.Box3, sp *trace.Span) bool {
+	return !g.g.SearchBox3Traced(q, sp, func(spatialgrid.Point) bool { return false })
 }
 
 func (g gridIndex) MemoryBytes() int64 { return g.g.MemoryBytes() }

@@ -23,6 +23,7 @@ package core
 import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/trace"
 )
 
 // Engine answers RangeReach queries over a prepared geosocial network.
@@ -32,6 +33,11 @@ type Engine interface {
 	// RangeReach reports whether the original vertex v can reach a
 	// spatial vertex whose point lies inside r.
 	RangeReach(v int, r geom.Rect) bool
+	// RangeReachTraced is RangeReach with per-stage instrumentation
+	// accumulated into sp. A nil sp must behave exactly like RangeReach
+	// — implementations thread the span down through nil-safe hooks, so
+	// the disabled path costs nothing beyond predictable branches.
+	RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool
 	// MemoryBytes returns the footprint of the engine's index
 	// structures (Table 4 accounting). The underlying network and its
 	// condensation are shared by all engines and not counted.
@@ -43,6 +49,13 @@ type Engine interface {
 type reachIndex interface {
 	Reach(v, u int) bool
 	MemoryBytes() int64
+}
+
+// tracedReach is the optional traced-probe extension of reachIndex;
+// bfl.Index and labeling.Labeling implement it, the extended SpaReach
+// probes (PLL, Feline, GRAIL) fall back to plain Reach.
+type tracedReach interface {
+	ReachTraced(v, u int, sp *trace.Span) bool
 }
 
 // NaiveBFS is the index-free ground truth: breadth-first search over the
@@ -64,14 +77,27 @@ func (e *NaiveBFS) Name() string { return "NaiveBFS" }
 // the query when its geometry intersects the region (point containment
 // for point vertices).
 func (e *NaiveBFS) RangeReach(v int, r geom.Rect) bool {
+	return e.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced implements Engine: every BFS-expanded vertex counts
+// as a visited graph vertex, every spatial vertex's geometry test as a
+// member verification, and the whole search as the traverse stage.
+func (e *NaiveBFS) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
 	found := false
+	t := sp.Start()
 	e.net.Graph.BFS(v, func(u int) bool {
-		if e.net.Spatial[u] && r.Intersects(e.net.GeometryOf(u)) {
-			found = true
-			return false
+		sp.IncGraphVisited()
+		if e.net.Spatial[u] {
+			sp.IncMember()
+			if r.Intersects(e.net.GeometryOf(u)) {
+				found = true
+				return false
+			}
 		}
 		return true
 	})
+	sp.End(trace.StageTraverse, t)
 	return found
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/labeling"
 	"repro/internal/rtree"
+	"repro/internal/trace"
 )
 
 // dynOverlayMin is the overlay size below which the base tree is never
@@ -144,18 +145,33 @@ func (e *DynamicThreeDReach) Name() string { return "3DReach-Dynamic" }
 // one cuboid query per current label of the query vertex, first against
 // the base tree, then against the overlay.
 func (e *DynamicThreeDReach) RangeReach(v int, r geom.Rect) bool {
+	return e.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced implements Engine: per-label cuboid searches against
+// the base tree accumulate into the spatial stage, and the linear
+// overlay scan counts one entry test per overlay venue.
+func (e *DynamicThreeDReach) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
 	if v < 0 || v >= e.n {
 		panic(fmt.Sprintf("core: vertex %d out of range [0,%d)", v, e.n))
 	}
 	for _, iv := range e.dl.Labels(int(e.comp[v])) {
+		sp.AddLabels(1)
 		q := geom.Box3FromRect(r, float64(iv.Lo), float64(iv.Hi))
-		if _, ok := e.base.SearchAny(q); ok {
-			return true
-		}
-		for _, entry := range e.overlay {
-			if entry.Box.Intersects(q) {
-				return true
+		t := sp.Start()
+		_, ok := e.base.SearchAnyTraced(q, sp)
+		if !ok {
+			sp.AddEntries(len(e.overlay))
+			for _, entry := range e.overlay {
+				if entry.Box.Intersects(q) {
+					ok = true
+					break
+				}
 			}
+		}
+		sp.End(trace.StageSpatial, t)
+		if ok {
+			return true
 		}
 	}
 	return false
@@ -200,18 +216,32 @@ func (s *DynamicSnapshot) NumVertices() int { return s.n }
 
 // RangeReach answers the query against the captured state.
 func (s *DynamicSnapshot) RangeReach(v int, r geom.Rect) bool {
+	return s.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced answers the query against the captured state with
+// the same instrumentation as DynamicThreeDReach.RangeReachTraced.
+func (s *DynamicSnapshot) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
 	if v < 0 || v >= s.n {
 		panic(fmt.Sprintf("core: vertex %d out of range [0,%d)", v, s.n))
 	}
 	for _, iv := range s.view.Labels(int(s.comp[v])) {
+		sp.AddLabels(1)
 		q := geom.Box3FromRect(r, float64(iv.Lo), float64(iv.Hi))
-		if _, ok := s.base.SearchAny(q); ok {
-			return true
-		}
-		for _, e := range s.overlay {
-			if e.Box.Intersects(q) {
-				return true
+		t := sp.Start()
+		_, ok := s.base.SearchAnyTraced(q, sp)
+		if !ok {
+			sp.AddEntries(len(s.overlay))
+			for _, e := range s.overlay {
+				if e.Box.Intersects(q) {
+					ok = true
+					break
+				}
 			}
+		}
+		sp.End(trace.StageSpatial, t)
+		if ok {
+			return true
 		}
 	}
 	return false

@@ -4,6 +4,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/georeach"
+	"repro/internal/trace"
 )
 
 // GeoReach wraps the SPA-Graph method of Sarwat and Sun (§2.2.2) behind
@@ -31,6 +32,12 @@ func (e *GeoReach) Name() string { return "GeoReach" }
 // RangeReach implements Engine.
 func (e *GeoReach) RangeReach(v int, r geom.Rect) bool {
 	return e.idx.RangeReach(v, r)
+}
+
+// RangeReachTraced implements Engine, delegating to the SPA-Graph's
+// instrumented BFS.
+func (e *GeoReach) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
+	return e.idx.RangeReachTraced(v, r, sp)
 }
 
 // MemoryBytes implements Engine.

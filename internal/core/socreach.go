@@ -6,6 +6,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/labeling"
+	"repro/internal/trace"
 )
 
 // SocReach is the social-first method (paper §4.1): the interval-based
@@ -70,12 +71,22 @@ func (e *SocReach) Name() string { return "SocReach" }
 // vertex is a relational range scan over the post-order domain (paper
 // Eq. 4.1); each spatial descendant's point is tested against r.
 func (e *SocReach) RangeReach(v int, r geom.Rect) bool {
+	return e.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced implements Engine: each label of the query vertex
+// counts as inspected, every descendant produced by the range scans as
+// enumerated, and every spatial member's geometry test as a member
+// verification; the whole scan is the enumerate stage.
+func (e *SocReach) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
 	src := int(e.prep.CompOf(v))
 	test := func(c int32) bool { // reports whether c witnesses the query
+		sp.AddEnumerated(1)
 		if !e.prep.HasSpatial[c] {
 			return false
 		}
 		for _, m := range e.prep.SpatialMembers[c] {
+			sp.IncMember()
 			if e.prep.Witness(m, r) {
 				return true
 			}
@@ -83,7 +94,10 @@ func (e *SocReach) RangeReach(v int, r geom.Rect) bool {
 		return false
 	}
 	if e.post != nil {
+		t := sp.Start()
+		defer sp.End(trace.StageEnumerate, t)
 		for _, iv := range e.l.Labels[src] {
+			sp.AddLabels(1)
 			hit := false
 			e.post.Range(iv.Lo, iv.Hi, func(_, c int32) bool {
 				if test(c) {
@@ -98,7 +112,9 @@ func (e *SocReach) RangeReach(v int, r geom.Rect) bool {
 		}
 		return false
 	}
+	sp.AddLabels(len(e.l.Labels[src]))
 	found := false
+	t := sp.Start()
 	e.l.Descendants(src, func(c int32) bool {
 		if test(c) {
 			found = true
@@ -106,6 +122,7 @@ func (e *SocReach) RangeReach(v int, r geom.Rect) bool {
 		}
 		return true
 	})
+	sp.End(trace.StageEnumerate, t)
 	return found
 }
 

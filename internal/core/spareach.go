@@ -12,6 +12,7 @@ import (
 	"repro/internal/labeling"
 	"repro/internal/pll"
 	"repro/internal/rtree"
+	"repro/internal/trace"
 )
 
 // SpaReach is the spatial-first approach (paper §2.2.1): a 2D R-tree
@@ -144,9 +145,18 @@ func (e *SpaReach) Name() string { return e.name }
 // — SpaReach's sensitivity to the spatial selectivity (paper §6.4) stems
 // from materializing the full candidate set before any graph work.
 func (e *SpaReach) RangeReach(v int, r geom.Rect) bool {
+	return e.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced implements Engine: the phase-1 R-tree search is the
+// spatial stage and every materialized entry a candidate; phase 2 is
+// the reach stage with one counted probe per candidate (traced probes
+// additionally expose the inner label/DFS work of INT and BFL), plus
+// member verifications under the MBR policy.
+func (e *SpaReach) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
 	src := int(e.prep.CompOf(v))
 	if e.streaming {
-		return e.rangeReachStreaming(src, r)
+		return e.rangeReachStreaming(src, r, sp)
 	}
 	s := e.scratch.Get().(*spaScratch)
 	defer e.scratch.Put(s)
@@ -154,20 +164,25 @@ func (e *SpaReach) RangeReach(v int, r geom.Rect) bool {
 	// Phase 1: evaluate SRange(P, R).
 	s.candidates = s.candidates[:0]
 	s.candBoxes = s.candBoxes[:0]
-	e.tree.Search(geom.Rect(r), func(entry rtree.Entry[geom.Rect]) bool {
+	t := sp.Start()
+	e.tree.SearchTraced(geom.Rect(r), sp, func(entry rtree.Entry[geom.Rect]) bool {
 		s.candidates = append(s.candidates, entry.ID)
 		if e.policy == dataset.MBR {
 			s.candBoxes = append(s.candBoxes, entry.Box)
 		}
 		return true
 	})
+	sp.End(trace.StageSpatial, t)
 
 	// Phase 2: GReach(G, v, u) per candidate, stopping at the first
 	// positive answer.
+	t = sp.Start()
+	defer sp.End(trace.StageReach, t)
 	for i, id := range s.candidates {
+		sp.IncCandidate()
 		if e.policy == dataset.MBR {
 			c := int(id)
-			if !e.reach.Reach(src, c) {
+			if !e.probe(src, c, sp) {
 				continue
 			}
 			// The MBR only approximates the component's points; confirm
@@ -176,28 +191,45 @@ func (e *SpaReach) RangeReach(v int, r geom.Rect) bool {
 				return true
 			}
 			for _, m := range e.prep.SpatialMembers[c] {
+				sp.IncMember()
 				if e.prep.Witness(m, r) {
 					return true
 				}
 			}
 			continue
 		}
-		if e.reach.Reach(src, int(e.prep.CompOf(int(id)))) {
+		if e.probe(src, int(e.prep.CompOf(int(id))), sp) {
 			return true
 		}
 	}
 	return false
 }
 
+// probe issues one counted reachability probe, routing through the
+// traced variant when the index supports it (BFL, interval labels).
+func (e *SpaReach) probe(src, dst int, sp *trace.Span) bool {
+	sp.IncReachProbe()
+	if sp.Enabled() {
+		if tr, ok := e.reach.(tracedReach); ok {
+			return tr.ReachTraced(src, dst, sp)
+		}
+	}
+	return e.reach.Reach(src, dst)
+}
+
 // rangeReachStreaming is the optimized single-pass variant: probes run
 // inside the R-tree traversal, so the first witness aborts the spatial
-// search as well.
-func (e *SpaReach) rangeReachStreaming(src int, r geom.Rect) bool {
+// search as well. The interleaved pass is timed wholesale as the
+// spatial stage; candidates, probes and member verifications are still
+// counted individually.
+func (e *SpaReach) rangeReachStreaming(src int, r geom.Rect, sp *trace.Span) bool {
 	found := false
-	e.tree.Search(geom.Rect(r), func(entry rtree.Entry[geom.Rect]) bool {
+	t := sp.Start()
+	e.tree.SearchTraced(geom.Rect(r), sp, func(entry rtree.Entry[geom.Rect]) bool {
+		sp.IncCandidate()
 		if e.policy == dataset.MBR {
 			c := int(entry.ID)
-			if !e.reach.Reach(src, c) {
+			if !e.probe(src, c, sp) {
 				return true
 			}
 			if r.ContainsRect(entry.Box) {
@@ -205,6 +237,7 @@ func (e *SpaReach) rangeReachStreaming(src int, r geom.Rect) bool {
 				return false
 			}
 			for _, m := range e.prep.SpatialMembers[c] {
+				sp.IncMember()
 				if e.prep.Witness(m, r) {
 					found = true
 					return false
@@ -212,12 +245,13 @@ func (e *SpaReach) rangeReachStreaming(src int, r geom.Rect) bool {
 			}
 			return true
 		}
-		if e.reach.Reach(src, int(e.prep.CompOf(int(entry.ID)))) {
+		if e.probe(src, int(e.prep.CompOf(int(entry.ID))), sp) {
 			found = true
 			return false
 		}
 		return true
 	})
+	sp.End(trace.StageSpatial, t)
 	return found
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/labeling"
 	"repro/internal/rtree"
+	"repro/internal/trace"
 )
 
 // ThreeDReach is the paper's primary contribution (§4.2): the geosocial
@@ -115,37 +116,57 @@ func (e *ThreeDReach) Name() string { return "3DReach" }
 // RangeReach implements Engine: one cuboid query per label, stopping at
 // the first witness.
 func (e *ThreeDReach) RangeReach(v int, r geom.Rect) bool {
+	return e.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced implements Engine: each label of the query vertex
+// counts as inspected, the per-cuboid 3D searches accumulate index-node
+// work into the spatial stage, and MBR-policy member confirmations into
+// the verify stage.
+func (e *ThreeDReach) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
 	src := int(e.prep.CompOf(v))
 	for _, iv := range e.l.Labels[src] {
+		sp.AddLabels(1)
 		q := geom.Box3FromRect(r, float64(iv.Lo), float64(iv.Hi))
 		if e.points != nil {
-			if e.points.AnyInBox(q) {
+			t := sp.Start()
+			hit := e.points.AnyInBox(q, sp)
+			sp.End(trace.StageSpatial, t)
+			if hit {
 				return true
 			}
 			continue
 		}
 		if e.exactBoxes {
-			if _, ok := e.boxes.SearchAny(q); ok {
+			t := sp.Start()
+			_, ok := e.boxes.SearchAnyTraced(q, sp)
+			sp.End(trace.StageSpatial, t)
+			if ok {
 				return true
 			}
 			continue
 		}
+		// MBR policy: member confirmation runs inside the R-tree
+		// traversal, so the whole interleaved pass is timed as the
+		// spatial stage (stage timings stay disjoint); the member
+		// counter still records the verification work.
 		hit := false
-		e.boxes.Search(q, func(entry rtree.Entry[geom.Box3]) bool {
-			// MBR policy: confirm partially overlapping boxes against
-			// the component's exact member points.
+		t := sp.Start()
+		e.boxes.SearchTraced(q, sp, func(entry rtree.Entry[geom.Box3]) bool {
 			if r.ContainsRect(entry.Box.Rect()) {
 				hit = true
 				return false
 			}
 			for _, m := range e.prep.SpatialMembers[entry.ID] {
+				sp.IncMember()
 				if e.prep.Witness(m, r) {
 					hit = true
-					return false
+					break
 				}
 			}
-			return true
+			return !hit
 		})
+		sp.End(trace.StageSpatial, t)
 		if hit {
 			return true
 		}

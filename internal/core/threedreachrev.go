@@ -5,6 +5,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/labeling"
 	"repro/internal/rtree"
+	"repro/internal/trace"
 )
 
 // ThreeDReachRev is the line-based 3DReach variant (paper §4.2, second
@@ -78,20 +79,32 @@ func (e *ThreeDReachRev) Name() string { return "3DReach-Rev" }
 // RangeReach implements Engine with a single plane-shaped 3D range query
 // at the query vertex's post-order height.
 func (e *ThreeDReachRev) RangeReach(v int, r geom.Rect) bool {
+	return e.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced implements Engine: the single plane query is the
+// spatial stage (3DReach-Rev inspects no label of the query vertex —
+// the reversed labels live inside the indexed segments); MBR member
+// confirmations count as member verifications.
+func (e *ThreeDReachRev) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
 	src := int(e.prep.CompOf(v))
 	z := float64(e.rev.PostOf(src))
 	q := geom.Box3FromRect(r, z, z)
 	if e.policy == dataset.Replicate {
-		_, ok := e.tree.SearchAny(q)
+		t := sp.Start()
+		_, ok := e.tree.SearchAnyTraced(q, sp)
+		sp.End(trace.StageSpatial, t)
 		return ok
 	}
 	hit := false
-	e.tree.Search(q, func(entry rtree.Entry[geom.Box3]) bool {
+	t := sp.Start()
+	e.tree.SearchTraced(q, sp, func(entry rtree.Entry[geom.Box3]) bool {
 		if r.ContainsRect(entry.Box.Rect()) {
 			hit = true
 			return false
 		}
 		for _, m := range e.prep.SpatialMembers[entry.ID] {
+			sp.IncMember()
 			if e.prep.Witness(m, r) {
 				hit = true
 				return false
@@ -99,6 +112,7 @@ func (e *ThreeDReachRev) RangeReach(v int, r geom.Rect) bool {
 		}
 		return true
 	})
+	sp.End(trace.StageSpatial, t)
 	return hit
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/trace"
 )
 
 // Kind is the SPA-Graph vertex class.
@@ -177,6 +178,15 @@ func Build(prep *dataset.Prepared, params Params) *Index {
 // RangeReach answers RangeReach(G, v, R) for the original vertex v by
 // traversing the SPA-Graph breadth-first with the §2.2.2 pruning rules.
 func (idx *Index) RangeReach(v int, r geom.Rect) bool {
+	return idx.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced is RangeReach with instrumentation: every dequeued
+// SPA-Graph vertex counts as a graph visit, every exact geometry test
+// as a member verification, and the whole BFS is the traverse stage.
+func (idx *Index) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
+	t := sp.Start()
+	defer sp.End(trace.StageTraverse, t)
 	prep := idx.prep
 	start := int(prep.CompOf(v))
 	if !idx.geoB[start] {
@@ -191,6 +201,7 @@ func (idx *Index) RangeReach(v int, r geom.Rect) bool {
 	for len(queue) > 0 {
 		u := int(queue[0])
 		queue = queue[1:]
+		sp.IncGraphVisited()
 
 		expand := false
 		switch idx.kind[u] {
@@ -220,6 +231,7 @@ func (idx *Index) RangeReach(v int, r geom.Rect) bool {
 
 		// Partial overlap: test the vertex's own spatial members exactly.
 		for _, m := range prep.SpatialMembers[u] {
+			sp.IncMember()
 			if prep.Witness(m, r) {
 				return true
 			}

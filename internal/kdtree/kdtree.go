@@ -7,6 +7,7 @@ package kdtree
 
 import (
 	"repro/internal/geom"
+	"repro/internal/trace"
 )
 
 // Point is an indexed point: up to three coordinates plus the caller's
@@ -110,39 +111,49 @@ func (t *Tree) Len() int { return len(t.pts) }
 // inclusive; for 2D trees the Z bounds are ignored). If fn returns false
 // the search stops and Search returns false.
 func (t *Tree) Search(min, max [3]float64, fn func(p Point) bool) bool {
+	return t.SearchTraced(min, max, nil, fn)
+}
+
+// SearchTraced is Search with instrumentation: every expanded subrange
+// counts as an index node and every point compared against the box as a
+// tested entry. A nil sp makes it exactly Search.
+func (t *Tree) SearchTraced(min, max [3]float64, sp *trace.Span, fn func(p Point) bool) bool {
 	if t.dims == 2 {
 		min[2], max[2] = 0, 0
 	}
-	return t.search(0, len(t.pts), 0, min, max, fn)
+	return t.search(0, len(t.pts), 0, min, max, sp, fn)
 }
 
-func (t *Tree) search(lo, hi, depth int, min, max [3]float64, fn func(p Point) bool) bool {
+func (t *Tree) search(lo, hi, depth int, min, max [3]float64, sp *trace.Span, fn func(p Point) bool) bool {
 	if hi <= lo {
 		return true
 	}
 	if hi-lo == 1 {
-		return t.visit(t.pts[lo], min, max, fn)
+		sp.IncLeaf()
+		return t.visit(t.pts[lo], min, max, sp, fn)
 	}
+	sp.IncNode()
 	mid := (lo + hi) / 2
 	axis := depth % t.dims
 	c := t.pts[mid].coord(axis)
 	if min[axis] <= c {
-		if !t.search(lo, mid, depth+1, min, max, fn) {
+		if !t.search(lo, mid, depth+1, min, max, sp, fn) {
 			return false
 		}
 	}
-	if !t.visit(t.pts[mid], min, max, fn) {
+	if !t.visit(t.pts[mid], min, max, sp, fn) {
 		return false
 	}
 	if max[axis] >= c {
-		if !t.search(mid+1, hi, depth+1, min, max, fn) {
+		if !t.search(mid+1, hi, depth+1, min, max, sp, fn) {
 			return false
 		}
 	}
 	return true
 }
 
-func (t *Tree) visit(p Point, min, max [3]float64, fn func(p Point) bool) bool {
+func (t *Tree) visit(p Point, min, max [3]float64, sp *trace.Span, fn func(p Point) bool) bool {
+	sp.AddEntries(1)
 	for d := 0; d < t.dims; d++ {
 		if p.coord(d) < min[d] || p.coord(d) > max[d] {
 			return true
@@ -153,9 +164,14 @@ func (t *Tree) visit(p Point, min, max [3]float64, fn func(p Point) bool) bool {
 
 // SearchBox3 adapts Search to a geom.Box3 query.
 func (t *Tree) SearchBox3(q geom.Box3, fn func(p Point) bool) bool {
-	return t.Search(
+	return t.SearchBox3Traced(q, nil, fn)
+}
+
+// SearchBox3Traced adapts SearchTraced to a geom.Box3 query.
+func (t *Tree) SearchBox3Traced(q geom.Box3, sp *trace.Span, fn func(p Point) bool) bool {
+	return t.SearchTraced(
 		[3]float64{q.Min.X, q.Min.Y, q.Min.Z},
-		[3]float64{q.Max.X, q.Max.Y, q.Max.Z}, fn)
+		[3]float64{q.Max.X, q.Max.Y, q.Max.Z}, sp, fn)
 }
 
 // Any reports whether some indexed point lies inside the box.

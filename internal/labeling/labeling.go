@@ -25,6 +25,7 @@ package labeling
 import (
 	"repro/internal/graph"
 	"repro/internal/intervals"
+	"repro/internal/trace"
 )
 
 // Options configures labeling construction.
@@ -127,6 +128,14 @@ func (l *Labeling) finishStats(opts Options) {
 // whether u is reachable from v, by Lemma 3.1 testing whether some label
 // of v contains post(u). Reach(v, v) is true.
 func (l *Labeling) Reach(v, u int) bool {
+	return l.Labels[v].ContainsCanonical(l.Post[u])
+}
+
+// ReachTraced is Reach with instrumentation: the probed label set L(v)
+// is counted as inspected labels (the binary search consults it as a
+// whole). A nil sp makes it exactly Reach.
+func (l *Labeling) ReachTraced(v, u int, sp *trace.Span) bool {
+	sp.AddLabels(len(l.Labels[v]))
 	return l.Labels[v].ContainsCanonical(l.Post[u])
 }
 

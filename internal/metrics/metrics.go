@@ -150,6 +150,7 @@ type metric struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	gf   func() float64
 }
 
 // A Registry holds named metrics and renders them. Registration is
@@ -184,6 +185,14 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.register(metric{name: name, help: help, typ: "gauge", g: g})
 	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — the natural shape for runtime stats (goroutine count, heap
+// size) that would otherwise need a background updater. fn must be safe
+// for concurrent calls.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(metric{name: name, help: help, typ: "gauge", gf: fn})
 }
 
 // Histogram registers and returns a histogram over the given bounds
@@ -226,6 +235,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.c.Value())
 		case m.g != nil:
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.g.Value())
+		case m.gf != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, strconv.FormatFloat(m.gf(), 'g', -1, 64))
 		case m.h != nil:
 			writeHistogram(&b, m.name, m.h)
 		}

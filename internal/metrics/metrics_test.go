@@ -39,6 +39,31 @@ func TestCounterGauge(t *testing.T) {
 	}
 }
 
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("rr_test_dynamic", "scrape-time gauge", func() float64 { return v })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "rr_test_dynamic 1.5") {
+		t.Errorf("output missing computed value:\n%s", b.String())
+	}
+	// The function is re-evaluated per scrape, not captured once.
+	v = 3
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "rr_test_dynamic 3") {
+		t.Errorf("output not re-evaluated:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "# TYPE rr_test_dynamic gauge") {
+		t.Errorf("missing TYPE header:\n%s", b.String())
+	}
+}
+
 func TestHistogramBucketsAndQuantile(t *testing.T) {
 	h := NewHistogram([]float64{0.01, 0.1, 1})
 	for i := 0; i < 50; i++ {

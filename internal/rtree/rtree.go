@@ -13,6 +13,8 @@ package rtree
 import (
 	"math"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Bound abstracts the axis-aligned bounding shapes the tree can index.
@@ -188,17 +190,27 @@ func (t *Tree[B]) Height() int {
 // returns false the search stops immediately and Search returns false;
 // otherwise it returns true after visiting all intersecting entries.
 func (t *Tree[B]) Search(query B, fn func(e Entry[B]) bool) bool {
+	return t.SearchTraced(query, nil, fn)
+}
+
+// SearchTraced is Search with per-node instrumentation: expanded
+// internal nodes, expanded leaves and tested leaf entries accumulate
+// into sp. A nil sp makes it exactly Search — the counting hooks reduce
+// to one predictable branch per node.
+func (t *Tree[B]) SearchTraced(query B, sp *trace.Span, fn func(e Entry[B]) bool) bool {
 	if t.root == nil {
 		return true
 	}
-	return t.root.search(query, fn)
+	return t.root.search(query, sp, fn)
 }
 
-func (n *node[B]) search(query B, fn func(e Entry[B]) bool) bool {
+func (n *node[B]) search(query B, sp *trace.Span, fn func(e Entry[B]) bool) bool {
 	if !n.bounds.Intersects(query) {
 		return true
 	}
 	if n.leaf {
+		sp.IncLeaf()
+		sp.AddEntries(len(n.entries))
 		for _, e := range n.entries {
 			if e.Box.Intersects(query) {
 				if !fn(e) {
@@ -208,8 +220,9 @@ func (n *node[B]) search(query B, fn func(e Entry[B]) bool) bool {
 		}
 		return true
 	}
+	sp.IncNode()
 	for _, c := range n.children {
-		if !c.search(query, fn) {
+		if !c.search(query, sp, fn) {
 			return false
 		}
 	}
@@ -222,7 +235,12 @@ func (n *node[B]) search(query B, fn func(e Entry[B]) bool) bool {
 // bounds are fully contained in the query yields its first entry without
 // descending further comparisons.
 func (t *Tree[B]) SearchAny(query B) (found Entry[B], ok bool) {
-	t.Search(query, func(e Entry[B]) bool {
+	return t.SearchAnyTraced(query, nil)
+}
+
+// SearchAnyTraced is SearchAny with instrumentation (see SearchTraced).
+func (t *Tree[B]) SearchAnyTraced(query B, sp *trace.Span) (found Entry[B], ok bool) {
+	t.SearchTraced(query, sp, func(e Entry[B]) bool {
 		found, ok = e, true
 		return false
 	})

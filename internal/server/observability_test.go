@@ -1,0 +1,324 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	rangereach "repro"
+)
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %s: %v (body %q)", url, err, raw)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func explainURL(base string, vertex int, region [4]float64) string {
+	return fmt.Sprintf("%s/v1/explain?vertex=%d&region=%g,%g,%g,%g",
+		base, vertex, region[0], region[1], region[2], region[3])
+}
+
+// TestExplainEndpoint covers the EXPLAIN route in static mode: answers
+// match the oracle, a fresh query reports real work, and the repeat is
+// a cache hit with zero work counters (the engine never ran).
+func TestExplainEndpoint(t *testing.T) {
+	net := testNetwork(t)
+	idx := net.MustBuild(rangereach.SpaReachBFL)
+	oracle := net.MustBuild(rangereach.Naive)
+
+	srv, err := New(Config{Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(21))
+	space := net.Space()
+	var firstURL string
+	var firstStats rangereach.QueryStats
+	for i := 0; i < 25; i++ {
+		v := rng.Intn(net.NumVertices())
+		region := randRegion(rng, space)
+		url := explainURL(ts.URL, v, region)
+		var resp explainResponse
+		status, body := getJSON(t, ts.Client(), url, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("explain status %d: %s", status, body)
+		}
+		want := oracle.RangeReach(v, rangereach.NewRect(region[0], region[1], region[2], region[3]))
+		if resp.Reachable != want {
+			t.Fatalf("explain %d: got %v, oracle %v", i, resp.Reachable, want)
+		}
+		if resp.Stats.Method != "SpaReach-BFL" {
+			t.Fatalf("explain %d: stats.Method = %q", i, resp.Stats.Method)
+		}
+		if resp.Stats.CacheHit {
+			t.Fatalf("explain %d: fresh query reported a cache hit", i)
+		}
+		if i == 0 {
+			firstURL, firstStats = url, resp.Stats
+		}
+	}
+	if firstStats.Duration <= 0 {
+		t.Errorf("fresh explain reported no duration: %+v", firstStats)
+	}
+
+	// The repeat hits the cache: CacheHit set, every work counter zero.
+	var resp explainResponse
+	if status, body := getJSON(t, ts.Client(), firstURL, &resp); status != http.StatusOK {
+		t.Fatalf("repeat explain status %d: %s", status, body)
+	}
+	if !resp.Stats.CacheHit {
+		t.Fatal("repeated explain not served from cache")
+	}
+	qs := resp.Stats
+	if qs.Labels != 0 || qs.IndexNodes != 0 || qs.IndexLeaves != 0 || qs.IndexEntries != 0 ||
+		qs.Candidates != 0 || qs.ReachProbes != 0 || qs.GraphVisited != 0 ||
+		qs.Enumerated != 0 || qs.Members != 0 || len(qs.Stages) != 0 {
+		t.Errorf("cache-hit stats report engine work: %+v", qs)
+	}
+	if qs.Method != "SpaReach-BFL" {
+		t.Errorf("cache-hit stats.Method = %q", qs.Method)
+	}
+
+	// Malformed parameters are 400s.
+	for _, bad := range []string{
+		"/v1/explain?vertex=x&region=0,0,1,1",
+		"/v1/explain?vertex=0&region=0,0,1",
+		"/v1/explain?vertex=0&region=a,b,c,d",
+		fmt.Sprintf("/v1/explain?vertex=%d&region=0,0,1,1", net.NumVertices()+3),
+	} {
+		if status, body := getJSON(t, ts.Client(), ts.URL+bad, nil); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", bad, status, body)
+		}
+	}
+}
+
+// TestExplainDynamic covers the EXPLAIN route against the snapshot-swap
+// serving path.
+func TestExplainDynamic(t *testing.T) {
+	net := testNetwork(t)
+	srv, err := New(Config{Dynamic: net.BuildDynamic(), CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	oracle := net.MustBuild(rangereach.Naive)
+	rng := rand.New(rand.NewSource(5))
+	space := net.Space()
+	for i := 0; i < 20; i++ {
+		v := rng.Intn(net.NumVertices())
+		region := randRegion(rng, space)
+		var resp explainResponse
+		status, body := getJSON(t, ts.Client(), explainURL(ts.URL, v, region), &resp)
+		if status != http.StatusOK {
+			t.Fatalf("explain status %d: %s", status, body)
+		}
+		want := oracle.RangeReach(v, rangereach.NewRect(region[0], region[1], region[2], region[3]))
+		if resp.Reachable != want {
+			t.Fatalf("dynamic explain: got %v, oracle %v", resp.Reachable, want)
+		}
+		if resp.Stats.Method != "3DReach-Dynamic" {
+			t.Fatalf("stats.Method = %q", resp.Stats.Method)
+		}
+	}
+}
+
+// TestObservabilityMetricFamilies asserts the new metric families all
+// render in the Prometheus text exposition: per-stage histograms, the
+// runtime gauges, and the explain endpoint counter.
+func TestObservabilityMetricFamilies(t *testing.T) {
+	net := testNetwork(t)
+	srv, err := New(Config{Index: net.MustBuild(rangereach.ThreeDReach), TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One traced query (TraceSample=1) and one explain populate the
+	// stage histograms.
+	space := net.Space()
+	region := [4]float64{space.MinX, space.MinY, space.MaxX, space.MaxY}
+	if status, body := postJSON(t, ts.Client(), ts.URL+"/v1/query",
+		queryRequest{Vertex: 0, Region: region}, nil); status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, body)
+	}
+	if status, body := getJSON(t, ts.Client(), explainURL(ts.URL, 1, region), nil); status != http.StatusOK {
+		t.Fatalf("explain status %d: %s", status, body)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"# TYPE rr_stage_seconds histogram",
+		`rr_stage_seconds_bucket{stage="spatial",le="+Inf"}`,
+		`rr_stage_seconds_bucket{stage="reach",le="+Inf"}`,
+		`rr_stage_seconds_count{stage="spatial"}`,
+		`rr_requests_total{endpoint="explain"} 1`,
+		"rr_traced_queries_total 2",
+		"# TYPE go_goroutines gauge",
+		"go_goroutines ",
+		"go_memstats_heap_alloc_bytes ",
+		"go_memstats_heap_objects ",
+		"go_memstats_gc_cycles ",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The traced 3DReach queries spent time in the spatial stage.
+	if strings.Contains(string(mbody), `rr_stage_seconds_count{stage="spatial"} 0`) {
+		t.Error("spatial stage histogram has no observations despite traced queries")
+	}
+	// Runtime gauges carry live values, not zeros.
+	if strings.Contains(string(mbody), "go_goroutines 0\n") {
+		t.Error("go_goroutines reads 0")
+	}
+}
+
+// TestRequestLogging captures the structured log stream: every request
+// yields one record with correlation fields, traced queries attach the
+// profile, and slow requests elevate to Warn.
+func TestRequestLogging(t *testing.T) {
+	net := testNetwork(t)
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	srv, err := New(Config{
+		Index:        net.MustBuild(rangereach.ThreeDReach),
+		Logger:       logger,
+		TraceSample:  1,
+		CacheEntries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	space := net.Space()
+	region := [4]float64{space.MinX, space.MinY, space.MaxX, space.MaxY}
+	if status, body := postJSON(t, ts.Client(), ts.URL+"/v1/query",
+		queryRequest{Vertex: 0, Region: region}, nil); status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, body)
+	}
+	if status, _ := postJSON(t, ts.Client(), ts.URL+"/v1/query",
+		queryRequest{Vertex: -1, Region: region}, nil); status != http.StatusBadRequest {
+		t.Fatalf("bad query status %d, want 400", status)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log records, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["msg"] != "request" || rec["method"] != "POST" || rec["path"] != "/v1/query" {
+		t.Errorf("first record = %v", rec)
+	}
+	if rec["status"] != float64(http.StatusOK) {
+		t.Errorf("first record status = %v", rec["status"])
+	}
+	if _, ok := rec["req"]; !ok {
+		t.Error("record missing request id")
+	}
+	if _, ok := rec["elapsed"]; !ok {
+		t.Error("record missing latency")
+	}
+	if tr, ok := rec["trace"].(string); !ok || !strings.Contains(tr, "3DReach") {
+		t.Errorf("traced query record missing profile: %v", rec["trace"])
+	}
+	var rec2 map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &rec2); err != nil {
+		t.Fatal(err)
+	}
+	if rec2["status"] != float64(http.StatusBadRequest) {
+		t.Errorf("second record status = %v", rec2["status"])
+	}
+
+	// With SlowQuery=1ns every request is a Warn-level "slow request".
+	buf.Reset()
+	srv2, err := New(Config{
+		Index:     net.MustBuild(rangereach.ThreeDReach),
+		Logger:    logger,
+		SlowQuery: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if status, _ := postJSON(t, ts2.Client(), ts2.URL+"/v1/query",
+		queryRequest{Vertex: 0, Region: region}, nil); status != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	var slow map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if slow["msg"] != "slow request" || slow["level"] != "WARN" {
+		t.Errorf("slow record = %v", slow)
+	}
+}
+
+// TestTraceSampling verifies the 1-in-N clock: with TraceSample=4 only
+// a quarter of the evaluated queries go through the tracing path.
+func TestTraceSampling(t *testing.T) {
+	net := testNetwork(t)
+	srv, err := New(Config{
+		Index:        net.MustBuild(rangereach.ThreeDReach),
+		TraceSample:  4,
+		CacheEntries: -1, // every query evaluates
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	space := net.Space()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 40; i++ {
+		req := queryRequest{Vertex: rng.Intn(net.NumVertices()), Region: randRegion(rng, space)}
+		if status, body := postJSON(t, ts.Client(), ts.URL+"/v1/query", req, nil); status != http.StatusOK {
+			t.Fatalf("query status %d: %s", status, body)
+		}
+	}
+	if got := srv.mTraced.Value(); got != 10 {
+		t.Errorf("traced %d of 40 queries, want 10", got)
+	}
+}

@@ -7,6 +7,7 @@
 //	POST /v1/query   one RangeReach query
 //	POST /v1/batch   a batch, fanned out over RangeReachBatch
 //	POST /v1/update  add_user / add_venue / add_edge (dynamic mode)
+//	GET  /v1/explain one query with its execution profile (EXPLAIN)
 //	GET  /healthz    liveness + mode + index info
 //	GET  /metrics    Prometheus text exposition
 //
@@ -25,11 +26,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	rangereach "repro"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Config assembles a Server. Exactly one of Index (static mode) or
@@ -50,6 +57,19 @@ type Config struct {
 	// MaxBatch caps the queries accepted per batch request (default
 	// 8192).
 	MaxBatch int
+	// Logger receives one structured record per request (request id,
+	// method, path, status, latency, plus per-endpoint attributes). Nil
+	// disables request logging.
+	Logger *slog.Logger
+	// SlowQuery elevates requests at least this slow to a Warn-level
+	// "slow request" record, making them greppable without lowering the
+	// log level. Zero disables the elevation.
+	SlowQuery time.Duration
+	// TraceSample traces every Nth engine-evaluated query (1 = all)
+	// through the Explain path, feeding the rr_stage_seconds histograms
+	// and attaching the profile to the request log. Zero disables
+	// sampling; cache hits are never traced (no engine work to profile).
+	TraceSample int
 }
 
 // Server answers RangeReach queries over HTTP. Create with New, expose
@@ -60,19 +80,25 @@ type Server struct {
 	cache *queryCache
 	dyn   *updater // nil in static mode
 
-	reg        *metrics.Registry
-	mReqQuery  *metrics.Counter
-	mReqBatch  *metrics.Counter
-	mReqUpdate *metrics.Counter
-	mQueries   *metrics.Counter
-	mUpdates   *metrics.Counter
-	mUpdErrs   *metrics.Counter
-	mReqErrs   *metrics.Counter
-	mHits      *metrics.Counter
-	mMisses    *metrics.Counter
-	mSwaps     *metrics.Counter
-	mInflight  *metrics.Gauge
-	mLatency   *metrics.Histogram
+	reg         *metrics.Registry
+	mReqQuery   *metrics.Counter
+	mReqBatch   *metrics.Counter
+	mReqUpdate  *metrics.Counter
+	mReqExplain *metrics.Counter
+	mQueries    *metrics.Counter
+	mUpdates    *metrics.Counter
+	mUpdErrs    *metrics.Counter
+	mReqErrs    *metrics.Counter
+	mHits       *metrics.Counter
+	mMisses     *metrics.Counter
+	mSwaps      *metrics.Counter
+	mTraced     *metrics.Counter
+	mInflight   *metrics.Gauge
+	mLatency    *metrics.Histogram
+	mStages     map[string]*metrics.Histogram
+
+	reqID    atomic.Uint64 // request ids for log correlation
+	traceTik atomic.Uint64 // trace-sampling clock
 }
 
 // New builds a Server over the given index.
@@ -97,8 +123,25 @@ func New(cfg Config) (*Server, error) {
 	s.mHits = s.reg.Counter("rr_cache_hits_total", "Result cache hits.")
 	s.mMisses = s.reg.Counter("rr_cache_misses_total", "Result cache misses.")
 	s.mSwaps = s.reg.Counter("rr_snapshot_swaps_total", "Snapshots published by the dynamic updater.")
+	s.mReqExplain = s.reg.Counter(`rr_requests_total{endpoint="explain"}`, "HTTP requests by endpoint.")
+	s.mTraced = s.reg.Counter("rr_traced_queries_total", "Queries executed through the tracing path.")
 	s.mInflight = s.reg.Gauge("rr_inflight_requests", "Requests currently being served.")
 	s.mLatency = s.reg.Histogram("rr_query_seconds", "End-to-end latency of query and batch requests.", nil)
+	s.mStages = make(map[string]*metrics.Histogram, trace.NumStages)
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		name := st.String()
+		s.mStages[name] = s.reg.Histogram(
+			fmt.Sprintf("rr_stage_seconds{stage=%q}", name),
+			"Engine time per pipeline stage, over traced queries.", nil)
+	}
+	s.reg.GaugeFunc("go_goroutines", "Number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapAlloc) })
+	s.reg.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapObjects) })
+	s.reg.GaugeFunc("go_memstats_gc_cycles", "Completed GC cycles.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.NumGC) })
 
 	if cfg.CacheEntries >= 0 {
 		n := cfg.CacheEntries
@@ -115,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query", s.instrument(s.mReqQuery, s.handleQuery))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument(s.mReqBatch, s.handleBatch))
 	s.mux.HandleFunc("POST /v1/update", s.instrument(s.mReqUpdate, s.handleUpdate))
+	s.mux.HandleFunc("GET /v1/explain", s.instrument(s.mReqExplain, s.handleExplain))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -135,18 +179,101 @@ func (s *Server) Close() {
 // Metrics exposes the registry (for embedding rrserve elsewhere).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
+// statusWriter captures the response status for the request log and
+// carries handler-attached log attributes (a handler runs on one
+// goroutine, so plain appends are safe).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	attrs  []slog.Attr
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// annotate attaches attributes to the request's log record; a no-op
+// outside the instrument middleware (e.g. under httptest direct calls).
+func annotate(w http.ResponseWriter, attrs ...slog.Attr) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.attrs = append(sw.attrs, attrs...)
+	}
+}
+
 // instrument wraps a handler with the request counter, the in-flight
-// gauge, the latency histogram, and the per-request timeout context.
+// gauge, the latency histogram, the per-request timeout context, and
+// the structured request log.
 func (s *Server) instrument(reqs *metrics.Counter, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
 		s.mInflight.Inc()
 		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
-		h(w, r.WithContext(ctx))
+		h(sw, r.WithContext(ctx))
 		cancel()
-		s.mLatency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		s.mLatency.Observe(elapsed.Seconds())
 		s.mInflight.Dec()
+		s.logRequest(r, sw, elapsed)
+	}
+}
+
+// logRequest emits one record per request. Requests at least SlowQuery
+// slow are elevated to Warn as "slow request" so they stand out of an
+// Info-level stream without a separate sink.
+func (s *Server) logRequest(r *http.Request, sw *statusWriter, elapsed time.Duration) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	level, msg := slog.LevelInfo, "request"
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		level, msg = slog.LevelWarn, "slow request"
+	}
+	if !s.cfg.Logger.Enabled(context.Background(), level) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 5+len(sw.attrs))
+	attrs = append(attrs,
+		slog.Uint64("req", s.reqID.Add(1)),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("elapsed", elapsed),
+	)
+	attrs = append(attrs, sw.attrs...)
+	s.cfg.Logger.LogAttrs(context.Background(), level, msg, attrs...)
+}
+
+// shouldTrace implements the sampling clock: true for every
+// TraceSample-th engine evaluation.
+func (s *Server) shouldTrace() bool {
+	n := s.cfg.TraceSample
+	return n > 0 && s.traceTik.Add(1)%uint64(n) == 0
+}
+
+// observeStages feeds a traced query's profile into the per-stage
+// latency histograms.
+func (s *Server) observeStages(qs rangereach.QueryStats) {
+	s.mTraced.Inc()
+	for _, st := range qs.Stages {
+		if h, ok := s.mStages[st.Stage]; ok {
+			h.Observe(st.Duration.Seconds())
+		}
 	}
 }
 
@@ -240,6 +367,22 @@ func (v view) rangeReach(vertex int, r rangereach.Rect) bool {
 	return v.static.RangeReach(vertex, r)
 }
 
+func (v view) explain(vertex int, r rangereach.Rect) (bool, rangereach.QueryStats) {
+	if v.snap != nil {
+		return v.snap.Explain(vertex, r)
+	}
+	return v.static.Explain(vertex, r)
+}
+
+// methodName is the engine name for cache-hit stats, which never reach
+// an engine.
+func (s *Server) methodName() string {
+	if s.dyn != nil {
+		return "3DReach-Dynamic"
+	}
+	return s.cfg.Index.Method().String()
+}
+
 // ---- handlers ----
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -267,15 +410,82 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mMisses.Inc()
 	}
-	ans := v.rangeReach(req.Vertex, rect)
+	var ans bool
+	if s.shouldTrace() {
+		var qs rangereach.QueryStats
+		ans, qs = v.explain(req.Vertex, rect)
+		s.observeStages(qs)
+		annotate(w, slog.String("trace", qs.String()))
+	} else {
+		ans = v.rangeReach(req.Vertex, rect)
+	}
 	s.mQueries.Inc()
 	if s.cache != nil {
 		s.cache.Put(key, v.gen, ans)
 	}
+	annotate(w, slog.Int("vertex", req.Vertex), slog.Bool("reachable", ans))
 	s.writeJSON(w, http.StatusOK, queryResponse{
 		Reachable: ans, Gen: v.gen,
 		Micros: time.Since(start).Microseconds(),
 	})
+}
+
+type explainResponse struct {
+	Reachable bool                  `json:"reachable"`
+	Gen       uint64                `json:"gen"`
+	Stats     rangereach.QueryStats `json:"stats"`
+}
+
+// handleExplain answers GET /v1/explain?vertex=V&region=xmin,ymin,xmax,ymax
+// with the query answer plus its execution profile. The result cache is
+// consulted like a normal query: a hit reports CacheHit with zero work
+// counters, since the engine never ran.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	vertex, err := strconv.Atoi(q.Get("vertex"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad vertex %q: %v", q.Get("vertex"), err)
+		return
+	}
+	parts := strings.Split(q.Get("region"), ",")
+	if len(parts) != 4 {
+		s.writeError(w, http.StatusBadRequest, "bad region %q: want xmin,ymin,xmax,ymax", q.Get("region"))
+		return
+	}
+	var coords [4]float64
+	for i, p := range parts {
+		if coords[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad region %q: %v", q.Get("region"), err)
+			return
+		}
+	}
+	v := s.currentView()
+	if vertex < 0 || vertex >= v.numVertices() {
+		s.writeError(w, http.StatusBadRequest, "vertex %d out of range [0,%d)", vertex, v.numVertices())
+		return
+	}
+	rect := rangereach.NewRect(coords[0], coords[1], coords[2], coords[3])
+	key := cacheKey{vertex: vertex, region: rect}
+	if s.cache != nil {
+		if val, ok := s.cache.Get(key, v.gen); ok {
+			s.mHits.Inc()
+			annotate(w, slog.Bool("cached", true))
+			s.writeJSON(w, http.StatusOK, explainResponse{
+				Reachable: val, Gen: v.gen,
+				Stats: rangereach.QueryStats{Method: s.methodName(), CacheHit: true},
+			})
+			return
+		}
+		s.mMisses.Inc()
+	}
+	ans, qs := v.explain(vertex, rect)
+	s.mQueries.Inc()
+	s.observeStages(qs)
+	if s.cache != nil {
+		s.cache.Put(key, v.gen, ans)
+	}
+	annotate(w, slog.String("trace", qs.String()))
+	s.writeJSON(w, http.StatusOK, explainResponse{Reachable: ans, Gen: v.gen, Stats: qs})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/trace"
 )
 
 // Point is an indexed 3D point with the caller's identifier.
@@ -98,6 +99,13 @@ func (g *Grid) Len() int { return g.n }
 // Search calls fn for every point inside the box (boundary inclusive).
 // If fn returns false the search stops and Search returns false.
 func (g *Grid) Search(min, max [3]float64, fn func(p Point) bool) bool {
+	return g.SearchTraced(min, max, nil, fn)
+}
+
+// SearchTraced is Search with instrumentation: every scanned bucket
+// counts as an index leaf and every point compared against the box as a
+// tested entry. A nil sp makes it exactly Search.
+func (g *Grid) SearchTraced(min, max [3]float64, sp *trace.Span, fn func(p Point) bool) bool {
 	if g.n == 0 {
 		return true
 	}
@@ -108,7 +116,10 @@ func (g *Grid) Search(min, max [3]float64, fn func(p Point) bool) bool {
 		for y := y0; y <= y1; y++ {
 			base := int(x)*int(g.cells[1])*int(g.cells[2]) + int(y)*int(g.cells[2])
 			for z := z0; z <= z1; z++ {
-				for _, p := range g.buckets[base+int(z)] {
+				bucket := g.buckets[base+int(z)]
+				sp.IncLeaf()
+				sp.AddEntries(len(bucket))
+				for _, p := range bucket {
 					if p.X >= min[0] && p.X <= max[0] &&
 						p.Y >= min[1] && p.Y <= max[1] &&
 						p.Z >= min[2] && p.Z <= max[2] {
@@ -125,9 +136,14 @@ func (g *Grid) Search(min, max [3]float64, fn func(p Point) bool) bool {
 
 // SearchBox3 adapts Search to a geom.Box3 query.
 func (g *Grid) SearchBox3(q geom.Box3, fn func(p Point) bool) bool {
-	return g.Search(
+	return g.SearchBox3Traced(q, nil, fn)
+}
+
+// SearchBox3Traced adapts SearchTraced to a geom.Box3 query.
+func (g *Grid) SearchBox3Traced(q geom.Box3, sp *trace.Span, fn func(p Point) bool) bool {
+	return g.SearchTraced(
 		[3]float64{q.Min.X, q.Min.Y, q.Min.Z},
-		[3]float64{q.Max.X, q.Max.Y, q.Max.Z}, fn)
+		[3]float64{q.Max.X, q.Max.Y, q.Max.Z}, sp, fn)
 }
 
 // Any reports whether some indexed point lies inside the box.
