@@ -1,0 +1,150 @@
+package rangereach_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rangereach "repro"
+)
+
+// autoNet is the synthetic network the public Auto tests share.
+func autoNet() *rangereach.Network {
+	return rangereach.GenerateSynthetic(rangereach.SyntheticConfig{
+		Name: "auto-api", Users: 300, Venues: 200, AvgFriends: 4, AvgCheckins: 2,
+		CoreFraction: 0.3, Seed: 17,
+	})
+}
+
+func TestAutoPublicParity(t *testing.T) {
+	net := autoNet()
+	oracle := net.MustBuild(rangereach.Naive)
+	idx, err := net.Build(rangereach.MethodAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Method() != rangereach.MethodAuto {
+		t.Errorf("Method() = %v, want MethodAuto", idx.Method())
+	}
+	if got := idx.Method().String(); got != "Auto" {
+		t.Errorf("MethodAuto.String() = %q", got)
+	}
+	rng := rand.New(rand.NewSource(19))
+	space := net.Space()
+	for q := 0; q < 80; q++ {
+		v := rng.Intn(net.NumVertices())
+		w := rng.Float64() * (space.MaxX - space.MinX) / 2
+		h := rng.Float64() * (space.MaxY - space.MinY) / 2
+		x := space.MinX + rng.Float64()*(space.MaxX-space.MinX-w)
+		y := space.MinY + rng.Float64()*(space.MaxY-space.MinY-h)
+		r := rangereach.NewRect(x, y, x+w, y+h)
+		if got, want := idx.RangeReach(v, r), oracle.RangeReach(v, r); got != want {
+			t.Fatalf("Auto(%d, %+v) = %v, want %v", v, r, got, want)
+		}
+	}
+
+	members := idx.PlannerMembers()
+	if len(members) != 3 {
+		t.Fatalf("PlannerMembers = %v, want the default trio", members)
+	}
+	choices := idx.PlannerChoices()
+	var total int64
+	for _, c := range choices {
+		total += c
+	}
+	if total != 80 {
+		t.Errorf("PlannerChoices sum to %d, want 80", total)
+	}
+
+	// Fixed-method indexes expose no planner.
+	fixed := net.MustBuild(rangereach.SocReach)
+	if fixed.PlannerMembers() != nil || fixed.PlannerChoices() != nil {
+		t.Error("fixed-method index reports planner state")
+	}
+}
+
+func TestAutoPublicOptions(t *testing.T) {
+	net := autoNet()
+	idx, err := net.Build(rangereach.MethodAuto,
+		rangereach.WithAutoMembers(rangereach.SpaReachBFL, rangereach.ThreeDReach),
+		rangereach.WithAutoExplore(8),
+		rangereach.WithAutoCalibration(4, 42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := idx.PlannerMembers()
+	if len(members) != 2 || members[0] != "SpaReach-BFL" || members[1] != "3DReach" {
+		t.Errorf("PlannerMembers = %v", members)
+	}
+
+	// Auto composes with the MBR policy (members without an MBR variant
+	// run Replicate internally).
+	if _, err := net.Build(rangereach.MethodAuto, rangereach.WithMBRPolicy()); err != nil {
+		t.Errorf("Auto+MBR: %v", err)
+	}
+
+	// Invalid members surface as build errors, not silent drops.
+	if _, err := net.Build(rangereach.MethodAuto,
+		rangereach.WithAutoMembers(rangereach.MethodAuto)); err == nil {
+		t.Error("self-referential member accepted")
+	}
+	if _, err := net.Build(rangereach.MethodAuto,
+		rangereach.WithAutoMembers(rangereach.Method(99))); err == nil {
+		t.Error("unknown member accepted")
+	}
+}
+
+func TestAutoPublicExplain(t *testing.T) {
+	net := autoNet()
+	idx := net.MustBuild(rangereach.MethodAuto)
+	_, qs := idx.Explain(3, rangereach.NewRect(10, 10, 60, 60))
+	if qs.Plan == nil {
+		t.Fatal("Explain on Auto left Plan nil")
+	}
+	if qs.Plan.Method == "" || qs.Plan.Predicted <= 0 {
+		t.Errorf("plan incomplete: %+v", qs.Plan)
+	}
+	if len(qs.Plan.Candidates) != len(idx.PlannerMembers()) {
+		t.Errorf("plan has %d candidates, want %d", len(qs.Plan.Candidates), len(idx.PlannerMembers()))
+	}
+	if s := qs.String(); !strings.Contains(s, "plan="+qs.Plan.Method) {
+		t.Errorf("QueryStats.String() misses the plan: %q", s)
+	}
+
+	// Fixed methods keep a nil plan.
+	_, qs = net.MustBuild(rangereach.SocReach).Explain(3, rangereach.NewRect(10, 10, 60, 60))
+	if qs.Plan != nil {
+		t.Error("SocReach Explain reported a plan")
+	}
+}
+
+func TestAutoPublicPersistRoundtrip(t *testing.T) {
+	net := autoNet()
+	idx := net.MustBuild(rangereach.MethodAuto)
+	path := filepath.Join(t.TempDir(), "auto.idx")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := net.LoadIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Method() != rangereach.MethodAuto {
+		t.Fatalf("loaded method %v", loaded.Method())
+	}
+	rng := rand.New(rand.NewSource(23))
+	for q := 0; q < 40; q++ {
+		v := rng.Intn(net.NumVertices())
+		r := rangereach.NewRect(rng.Float64()*50, rng.Float64()*50,
+			50+rng.Float64()*50, 50+rng.Float64()*50)
+		if loaded.RangeReach(v, r) != idx.RangeReach(v, r) {
+			t.Fatalf("loaded Auto disagrees at (%d, %+v)", v, r)
+		}
+	}
+}

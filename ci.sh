@@ -20,10 +20,12 @@ go test ./...
 
 if [[ "${1:-}" != "-short" ]]; then
     # The concurrency-sensitive packages: the root package (batch
-    # work-stealing, dynamic snapshots) and the serving subsystem
-    # (snapshot swaps, result cache, metrics).
+    # work-stealing, dynamic snapshots), the serving subsystem
+    # (snapshot swaps, result cache, metrics) and the adaptive planner
+    # (lock-free coefficient EMA, pin state, concurrent Auto routing —
+    # including the parity suite in ./internal/core).
     echo "== go test -race (concurrency surfaces) =="
-    go test -race . ./internal/server ./internal/metrics ./internal/core
+    go test -race . ./internal/server ./internal/metrics ./internal/core ./internal/planner
 
     # The trace hook sits on every query's hot path; run the overhead
     # benchmark under the race detector so the instrumentation itself is
@@ -36,6 +38,10 @@ echo "== rrbench -json smoke =="
 go run ./cmd/rrbench -exp table3 -scale 0.05 -queries 20 \
     -datasets weeplaces-like -json /tmp/rrbench-smoke.json >/dev/null
 python3 -c "import json; json.load(open('/tmp/rrbench-smoke.json'))" 2>/dev/null \
-    || grep -q '"schema": "rrbench/v1"' /tmp/rrbench-smoke.json
+    || grep -q '"schema": "rrbench/v2"' /tmp/rrbench-smoke.json
+# The adaptive composite must appear both as a method row and in the
+# region sweep (the planner's acceptance surface).
+grep -q '"method": "Auto"' /tmp/rrbench-smoke.json
+grep -q '"region_sweep"' /tmp/rrbench-smoke.json
 
 echo "CI OK"

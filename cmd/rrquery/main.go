@@ -30,7 +30,7 @@ import (
 func main() {
 	var (
 		netPath = flag.String("net", "", "network file in geosocial format (required)")
-		method  = flag.String("method", "3dreach", "3dreach, 3dreach-rev, socreach, spareach-bfl, spareach-int, spareach-pll, spareach-feline, spareach-grail, georeach, naive")
+		method  = flag.String("method", "3dreach", "3dreach, 3dreach-rev, socreach, spareach-bfl, spareach-int, spareach-pll, spareach-feline, spareach-grail, georeach, naive, auto")
 		mbr     = flag.Bool("mbr", false, "use the MBR SCC policy (SpaReach/3DReach only)")
 		query   = flag.String("q", "", "single query: `vertex xmin ymin xmax ymax`")
 		batch   = flag.String("batch", "", "file with one query per line")
@@ -170,6 +170,17 @@ func printStats(qs rangereach.QueryStats) {
 	for _, st := range qs.Stages {
 		fmt.Printf("  stage %-10s %v\n", st.Stage, st.Duration)
 	}
+	if qs.Plan != nil {
+		picked := ""
+		if qs.Plan.Explored {
+			picked = "  (exploration)"
+		}
+		fmt.Printf("  plan: routed to %s, predicted %v, actual %v%s\n",
+			qs.Plan.Method, qs.Plan.Predicted, qs.Duration, picked)
+		for _, c := range qs.Plan.Candidates {
+			fmt.Printf("    candidate %-16s work=%-10.1f predicted=%v\n", c.Method, c.Work, c.Predicted)
+		}
+	}
 }
 
 func methodByName(name string) (rangereach.Method, bool) {
@@ -194,6 +205,8 @@ func methodByName(name string) (rangereach.Method, bool) {
 		return rangereach.SpaReachGRAIL, true
 	case "naive":
 		return rangereach.Naive, true
+	case "auto":
+		return rangereach.MethodAuto, true
 	default:
 		return 0, false
 	}

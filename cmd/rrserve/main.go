@@ -54,7 +54,7 @@ func main() {
 		synthetic = flag.String("synthetic", "", "generate a preset instead: foursquare-like, gowalla-like, weeplaces-like, yelp-like")
 		scale     = flag.Float64("scale", 0.1, "synthetic preset scale")
 		seed      = flag.Int64("seed", 1, "synthetic preset seed")
-		method    = flag.String("method", "3dreach", "3dreach, 3dreach-rev, socreach, spareach-bfl, spareach-int, spareach-pll, spareach-feline, spareach-grail, georeach, naive")
+		method    = flag.String("method", "3dreach", "3dreach, 3dreach-rev, socreach, spareach-bfl, spareach-int, spareach-pll, spareach-feline, spareach-grail, georeach, naive, auto")
 		dynamic   = flag.Bool("dynamic", false, "serve the updatable 3DReach index (enables /v1/update)")
 		loadIdx   = flag.String("load-index", "", "load a persisted index instead of building (-method is ignored)")
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -226,6 +226,8 @@ func methodByName(name string) (rangereach.Method, bool) {
 		return rangereach.SpaReachGRAIL, true
 	case "naive":
 		return rangereach.Naive, true
+	case "auto":
+		return rangereach.MethodAuto, true
 	default:
 		return 0, false
 	}

@@ -62,6 +62,35 @@ type QueryStats struct {
 	// ran appear; stage timings are disjoint, but untimed glue code
 	// means they need not sum exactly to Duration.
 	Stages []StageStat `json:"stages,omitempty"`
+
+	// Plan is the adaptive planner's routing decision — only present on
+	// MethodAuto indexes. Compare Plan.Predicted against Duration to
+	// judge the cost model's accuracy on this query.
+	Plan *PlanStats `json:"plan,omitempty"`
+}
+
+// PlanStats describes how the adaptive planner routed one query.
+type PlanStats struct {
+	// Method is the member engine the query was routed to.
+	Method string `json:"method"`
+	// Predicted is the cost model's latency prediction for that member.
+	Predicted time.Duration `json:"predicted_ns"`
+	// Explored reports the pick was an exploration tick (round-robin)
+	// rather than the cost-model argmin.
+	Explored bool `json:"explored,omitempty"`
+	// Candidates holds every member's work estimate and prediction, in
+	// routing order.
+	Candidates []PlanCandidate `json:"candidates,omitempty"`
+}
+
+// PlanCandidate is one member engine's entry in a routing decision.
+type PlanCandidate struct {
+	Method string `json:"method"`
+	// Work is the planner's work estimate for this member (descendant
+	// mass, region candidates, cuboid count — per the member's kind).
+	Work float64 `json:"work"`
+	// Predicted is the modeled latency at that work.
+	Predicted time.Duration `json:"predicted_ns"`
 }
 
 // StageStat is one pipeline stage's share of a query's execution.
@@ -93,6 +122,18 @@ func statsFromSpan(method string, sp *trace.Span, total time.Duration) QueryStat
 			qs.Stages = append(qs.Stages, StageStat{Stage: st.String(), Duration: d})
 		}
 	}
+	if sp.Plan != nil {
+		ps := &PlanStats{
+			Method:     sp.Plan.Method,
+			Predicted:  sp.Plan.Predicted,
+			Explored:   sp.Plan.Explored,
+			Candidates: make([]PlanCandidate, len(sp.Plan.Candidates)),
+		}
+		for i, c := range sp.Plan.Candidates {
+			ps.Candidates[i] = PlanCandidate{Method: c.Method, Work: c.Work, Predicted: c.Predicted}
+		}
+		qs.Plan = ps
+	}
 	return qs
 }
 
@@ -120,6 +161,12 @@ func (qs QueryStats) String() string {
 	appendCount("members", qs.Members)
 	for _, st := range qs.Stages {
 		fmt.Fprintf(&b, " %s=%v", st.Stage, st.Duration)
+	}
+	if qs.Plan != nil {
+		fmt.Fprintf(&b, " plan=%s predicted=%v", qs.Plan.Method, qs.Plan.Predicted)
+		if qs.Plan.Explored {
+			b.WriteString(" explored")
+		}
 	}
 	return b.String()
 }

@@ -58,6 +58,45 @@ func WithSpatialBackend(b SpatialBackend) Option {
 	return func(c *buildConfig) { c.opts.ThreeD.Backend = b }
 }
 
+// WithAutoMembers selects the member engines of a MethodAuto composite
+// (default: SocReach, ThreeDReachRev, SpaReachINT). Naive and
+// MethodAuto itself are not valid members; at most eight members are
+// supported. Duplicates and unknown methods surface as a Build error.
+func WithAutoMembers(members ...Method) Option {
+	return func(c *buildConfig) {
+		c.opts.Auto.Members = nil
+		for _, m := range members {
+			if cm, ok := m.internal(); ok {
+				c.opts.Auto.Members = append(c.opts.Auto.Members, cm)
+			} else {
+				// Invalid members become MethodAuto, which BuildAuto
+				// rejects with a clear error instead of silently dropping.
+				c.opts.Auto.Members = append(c.opts.Auto.Members, core.MethodAuto)
+			}
+		}
+	}
+}
+
+// WithAutoExplore sets MethodAuto's exploration cadence: every Nth
+// query is routed round-robin instead of by predicted cost, so members
+// the model currently disfavors keep their coefficients fresh. n = 0
+// keeps the default (every 64th query); n < 0 disables exploration for
+// fully deterministic routing.
+func WithAutoExplore(n int) Option {
+	return func(c *buildConfig) { c.opts.Auto.Explore = n }
+}
+
+// WithAutoCalibration sets the number of microbenchmark queries run at
+// build time to seed MethodAuto's per-member cost coefficients
+// (default 32). n < 0 skips calibration; seed makes the calibration
+// workload deterministic.
+func WithAutoCalibration(n int, seed int64) Option {
+	return func(c *buildConfig) {
+		c.opts.Auto.Calibrate = n
+		c.opts.Auto.Seed = seed
+	}
+}
+
 // WithGeoReachParams tunes the SPA-Graph construction: maxRMBR is the
 // maximum RMBR extent as a fraction of the space, maxReachGrids the
 // ReachGrid cardinality limit, and mergeCount the sibling-merge
@@ -152,3 +191,29 @@ func (idx *Index) RangeReach(v int, r Rect) bool {
 
 // Network returns the network the index was built over.
 func (idx *Index) Network() *Network { return idx.net }
+
+// PlannerMembers returns the member engine names of a MethodAuto index
+// in routing order, and nil for fixed-method indexes.
+func (idx *Index) PlannerMembers() []string {
+	auto, ok := idx.engine.(*core.Auto)
+	if !ok {
+		return nil
+	}
+	members := auto.Members()
+	names := make([]string, len(members))
+	for i, e := range members {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// PlannerChoices returns how many queries the planner has routed to
+// each member so far, aligned with PlannerMembers. Nil for fixed-method
+// indexes.
+func (idx *Index) PlannerChoices() []int64 {
+	auto, ok := idx.engine.(*core.Auto)
+	if !ok {
+		return nil
+	}
+	return auto.Choices()
+}

@@ -195,8 +195,24 @@ func TestPerfReport(t *testing.T) {
 	if ds.Name != "weeplaces-like" || ds.Vertices == 0 || ds.Edges == 0 || ds.SCCs == 0 {
 		t.Errorf("dataset stats: %+v", ds)
 	}
-	if len(ds.Methods) != len(core.AllMethods) {
-		t.Fatalf("%d method rows, want %d", len(ds.Methods), len(core.AllMethods))
+	if len(ds.Methods) != len(core.AllMethods)+1 { // fixed methods + Auto
+		t.Fatalf("%d method rows, want %d", len(ds.Methods), len(core.AllMethods)+1)
+	}
+	if ds.Methods[len(ds.Methods)-1].Method != core.MethodAuto.String() {
+		t.Errorf("last method row = %q, want the Auto composite", ds.Methods[len(ds.Methods)-1].Method)
+	}
+	if len(ds.RegionSweep) == 0 {
+		t.Error("report missing region sweep")
+	}
+	for _, pt := range ds.RegionSweep {
+		if len(pt.Methods) != len(sweepMethods) {
+			t.Errorf("sweep point %v: %d methods, want %d", pt.ExtentPct, len(pt.Methods), len(sweepMethods))
+		}
+		for _, sm := range pt.Methods {
+			if sm.P50Micros <= 0 || sm.P95Micros < sm.P50Micros {
+				t.Errorf("sweep %v %s: stats not sane: %+v", pt.ExtentPct, sm.Method, sm)
+			}
+		}
 	}
 	for _, mr := range ds.Methods {
 		if mr.IndexBytes <= 0 {

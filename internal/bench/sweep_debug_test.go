@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/planner"
+	"repro/internal/workload"
+)
+
+func TestSweepDebug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug harness")
+	}
+	s := NewSuite(Config{Scale: 0.3, Seed: 7, Queries: 300, Datasets: []string{"weeplaces-like"}})
+	ds := 0
+	auto := s.engine(ds, core.MethodAuto, dataset.Replicate).Engine.(*core.Auto)
+	pl := auto.Planner()
+	for _, ext := range workload.Extents {
+		qs := s.gens[ds].Batch(s.cfg.Queries, ext, workload.DefaultDegreeBucket)
+		before := auto.Choices()
+		for p := 0; p < 2; p++ {
+			for _, q := range qs {
+				auto.RangeReach(q.Vertex, q.Region)
+			}
+		}
+		mid := auto.Choices()
+		lat := measureLatencies(auto, qs)
+		after := auto.Choices()
+		warm := make([]int64, len(mid))
+		meas := make([]int64, len(mid))
+		for i := range mid {
+			warm[i] = mid[i] - before[i]
+			meas[i] = after[i] - mid[i]
+		}
+		pin, ok := auto.Planner().Pinned()
+		direct := []string{}
+		for _, e := range auto.Members() {
+			dl := measureLatencies(e, qs)
+			direct = append(direct, fmt.Sprintf("%s=%v", e.Name(), dl.P50))
+		}
+		coefs := []string{}
+		for i := range auto.Members() {
+			coefs = append(coefs, fmt.Sprintf("%.3g", pl.Model().Coef(i)))
+		}
+		// predictions for a few queries of this batch
+		var buf [planner.MaxMembers]float64
+		preds := ""
+		for qi := 0; qi < 3; qi++ {
+			q := qs[qi*97%len(qs)]
+			works := pl.EstimateWorks(q.Vertex, q.Region, buf[:])
+			row := []string{}
+			for i := range auto.Members() {
+				row = append(row, fmt.Sprintf("%.0fns/w%.0f", pl.Model().Predict(i, works[i])*1e9, works[i]))
+			}
+			preds += fmt.Sprintf(" q%d=%v", qi, row)
+		}
+		fmt.Printf("ext %4.1f%% warm=%v measure=%v p50=%v pinned=%d,%v direct=%v coefs=%v%s\n",
+			ext, warm, meas, lat.P50, pin, ok, direct, coefs, preds)
+	}
+}

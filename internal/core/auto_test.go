@@ -1,0 +1,391 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/labeling"
+	"repro/internal/trace"
+)
+
+// autoParityMembers are the member sets the parity suite sweeps: the
+// default trio, a spatial-heavy set, and a set including the extended
+// (non-persistable) GRAIL variant.
+var autoParityMembers = [][]Method{
+	nil, // DefaultAutoMembers
+	{MethodSpaReachBFL, MethodThreeDReach},
+	{MethodSocReach, MethodSpaReachGRAIL, MethodGeoReach},
+}
+
+// TestAutoParity is the planner parity suite: the composite must return
+// exactly the ground-truth answer — and therefore agree with every
+// member — across synthetic datasets (cyclic, acyclic, spatial-SCC),
+// region sizes from tiny to everything, both MBR policies, and with the
+// exploration path forced hot (Explore: 2 routes every other query
+// round-robin).
+func TestAutoParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 12; trial++ {
+		var net *dataset.Network
+		switch trial % 3 {
+		case 0:
+			net = randomNetwork(rng, 3+rng.Intn(20), 1+rng.Intn(15), true)
+		case 1:
+			net = randomNetwork(rng, 3+rng.Intn(20), 1+rng.Intn(15), false)
+		default:
+			net = spatialCycleNetwork(rng, 5+rng.Intn(25))
+		}
+		prep := dataset.Prepare(net)
+		truth := NewNaiveBFS(net)
+		for _, members := range autoParityMembers {
+			for _, policy := range []dataset.SCCPolicy{dataset.Replicate, dataset.MBR} {
+				res, err := BuildMethod(prep, MethodAuto, BuildOptions{
+					Policy: policy,
+					Auto:   AutoOptions{Members: members, Explore: 2, Seed: int64(trial)},
+				})
+				if err != nil {
+					t.Fatalf("trial %d members %v policy %v: %v", trial, members, policy, err)
+				}
+				auto := res.Engine.(*Auto)
+				for q := 0; q < 30; q++ {
+					v := rng.Intn(net.NumVertices())
+					r := randomRegion(rng)
+					if q%10 == 0 {
+						r = randomRegion(rng).Union(randomRegion(rng)) // larger sweep point
+					}
+					want := truth.RangeReach(v, r)
+					if got := auto.RangeReach(v, r); got != want {
+						t.Fatalf("trial %d members %v policy %v: Auto(%d, %v) = %v, want %v",
+							trial, members, policy, v, r, got, want)
+					}
+					for _, e := range auto.Members() {
+						if got := e.RangeReach(v, r); got != want {
+							t.Fatalf("trial %d: member %s disagrees at (%d, %v)", trial, e.Name(), v, r)
+						}
+					}
+				}
+				total := int64(0)
+				for _, c := range auto.Choices() {
+					total += c
+				}
+				if total != 30 {
+					t.Fatalf("choice tallies sum to %d, want 30 routed queries", total)
+				}
+			}
+		}
+	}
+}
+
+// TestAutoSharesLabeling checks the core satellite: members that consume
+// a forward labeling receive the *same* labeling object instead of each
+// recomputing SCC condensation + intervals.
+func TestAutoSharesLabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	prep := dataset.Prepare(randomNetwork(rng, 40, 25, true))
+	res, err := BuildMethod(prep, MethodAuto, BuildOptions{
+		Auto: AutoOptions{
+			Members:   []Method{MethodSocReach, MethodSpaReachINT, MethodThreeDReach, MethodThreeDReachRev},
+			Calibrate: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := res.Engine.(*Auto)
+	soc := auto.Members()[0].(*SocReach)
+	spa := auto.Members()[1].(*SpaReach)
+	threeD := auto.Members()[2].(*ThreeDReach)
+	rev := auto.Members()[3].(*ThreeDReachRev)
+	if spa.reach.(*labeling.Labeling) != soc.l {
+		t.Error("SpaReach-INT built its own labeling instead of sharing SocReach's")
+	}
+	if threeD.l != soc.l {
+		t.Error("3DReach built its own labeling instead of sharing SocReach's")
+	}
+	if rev.rev == soc.l {
+		t.Error("3DReach-Rev shares the forward labeling; it needs the reversed one")
+	}
+
+	// The dedup must show up in the accounting: net of the estimator's
+	// own tables, the composite's footprint is smaller than the sum of
+	// its members (three of which would otherwise own a labeling copy).
+	var sum int64
+	for _, e := range auto.Members() {
+		sum += e.MemoryBytes()
+	}
+	engines := auto.MemoryBytes() - auto.Planner().Estimator().MemoryBytes()
+	if engines >= sum {
+		t.Errorf("member bytes %d not deduplicated below member sum %d", engines, sum)
+	}
+}
+
+// TestAutoBuildErrors exercises the composite's input validation.
+func TestAutoBuildErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	prep := dataset.Prepare(randomNetwork(rng, 10, 8, false))
+	cases := []struct {
+		name    string
+		members []Method
+	}{
+		{"self-referential", []Method{MethodAuto}},
+		{"duplicate", []Method{MethodSocReach, MethodSocReach}},
+		{"too many", []Method{0, 1, 2, 3, 4, 5, 6, 7, 8}},
+		{"unknown", []Method{Method(99)}},
+	}
+	for _, tc := range cases {
+		if _, err := BuildAuto(prep, BuildOptions{Auto: AutoOptions{Members: tc.members, Calibrate: -1}}); err == nil {
+			t.Errorf("%s member set accepted", tc.name)
+		}
+	}
+}
+
+// TestAutoMBRKeepsNonMBRMembers checks per-member policy handling: an
+// MBR composite that includes SocReach (no MBR variant) must still
+// build, with SocReach silently running Replicate.
+func TestAutoMBRKeepsNonMBRMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	net := spatialCycleNetwork(rng, 60)
+	prep := dataset.Prepare(net)
+	res, err := BuildMethod(prep, MethodAuto, BuildOptions{
+		Policy: dataset.MBR,
+		Auto:   AutoOptions{Members: []Method{MethodSocReach, MethodSpaReachINT}, Calibrate: -1},
+	})
+	if err != nil {
+		t.Fatalf("MBR composite with SocReach member: %v", err)
+	}
+	truth := NewNaiveBFS(net)
+	for q := 0; q < 40; q++ {
+		v := rng.Intn(net.NumVertices())
+		r := randomRegion(rng)
+		if got, want := res.Engine.RangeReach(v, r), truth.RangeReach(v, r); got != want {
+			t.Fatalf("Auto/MBR(%d, %v) = %v, want %v", v, r, got, want)
+		}
+	}
+}
+
+// TestAutoTracePlan checks the traced path reports the routing decision
+// and per-candidate predictions.
+func TestAutoTracePlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	net := randomNetwork(rng, 30, 20, true)
+	prep := dataset.Prepare(net)
+	auto, err := BuildAuto(prep, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp trace.Span
+	auto.RangeReachTraced(rng.Intn(net.NumVertices()), randomRegion(rng), &sp)
+	if sp.Plan == nil {
+		t.Fatal("traced auto query left Span.Plan nil")
+	}
+	if len(sp.Plan.Candidates) != len(auto.Members()) {
+		t.Fatalf("plan has %d candidates, want %d", len(sp.Plan.Candidates), len(auto.Members()))
+	}
+	found := false
+	for _, c := range sp.Plan.Candidates {
+		if c.Method == sp.Plan.Method {
+			found = true
+			if c.Predicted != sp.Plan.Predicted {
+				t.Error("chosen candidate's prediction differs from plan prediction")
+			}
+		}
+		if c.Predicted <= 0 {
+			t.Errorf("candidate %s has non-positive prediction %v", c.Method, c.Predicted)
+		}
+	}
+	if !found {
+		t.Errorf("chosen method %q not among candidates", sp.Plan.Method)
+	}
+
+	// The untraced path must not record a plan anywhere (nil span is
+	// exercised simply by not panicking and answering consistently).
+	if got, want := auto.RangeReach(0, randomRegion(rng)), auto.RangeReach(0, randomRegion(rng)); got != want {
+		_ = got // answers on the same query must be stable
+		t.Error("untraced auto answers unstable")
+	}
+}
+
+// TestAutoCalibrationSeedsCoefs checks the build-time microbenchmark
+// actually moves the coefficients off the uniform prior.
+func TestAutoCalibrationSeedsCoefs(t *testing.T) {
+	rng := rand.New(rand.NewSource(239))
+	prep := dataset.Prepare(randomNetwork(rng, 60, 40, true))
+	auto, err := BuildAuto(prep, BuildOptions{Auto: AutoOptions{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := auto.Planner().Model()
+	moved := false
+	for i := range auto.Members() {
+		c := model.Coef(i)
+		if c <= 0 {
+			t.Fatalf("member %d coefficient %g not positive", i, c)
+		}
+		if c != 1e-7 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("calibration left every coefficient at the prior")
+	}
+}
+
+// TestAutoPersistRoundtrip saves a composite and reloads it: same
+// answers, same member set, and the learned coefficients survive.
+func TestAutoPersistRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	net := spatialCycleNetwork(rng, 80)
+	prep := dataset.Prepare(net)
+	auto, err := BuildAuto(prep, BuildOptions{Auto: AutoOptions{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the feedback loop so persisted coefficients are learned ones.
+	for q := 0; q < 200; q++ {
+		auto.RangeReach(rng.Intn(net.NumVertices()), randomRegion(rng))
+	}
+
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, auto); err != nil {
+		t.Fatalf("SaveEngine: %v", err)
+	}
+	res, err := LoadEngine(&buf, prep, BuildOptions{})
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+	if res.Method != MethodAuto {
+		t.Fatalf("loaded method %v, want MethodAuto", res.Method)
+	}
+	loaded := res.Engine.(*Auto)
+	if len(loaded.Members()) != len(auto.Members()) {
+		t.Fatalf("loaded %d members, want %d", len(loaded.Members()), len(auto.Members()))
+	}
+	for i, e := range loaded.Members() {
+		if e.Name() != auto.Members()[i].Name() {
+			t.Fatalf("member %d is %s, want %s", i, e.Name(), auto.Members()[i].Name())
+		}
+		got := loaded.Planner().Model().Coef(i)
+		want := auto.Planner().Model().Coef(i)
+		if got != want {
+			t.Errorf("member %d coefficient %g, want persisted %g", i, got, want)
+		}
+	}
+	truth := NewNaiveBFS(net)
+	for q := 0; q < 50; q++ {
+		v := rng.Intn(net.NumVertices())
+		r := randomRegion(rng)
+		if got, want := loaded.RangeReach(v, r), truth.RangeReach(v, r); got != want {
+			t.Fatalf("loaded Auto(%d, %v) = %v, want %v", v, r, got, want)
+		}
+	}
+}
+
+// TestAutoPersistNotPersistableMember keeps the ErrNotPersistable
+// semantics: a composite with a GRAIL member cannot be saved, and the
+// error identifies the member.
+func TestAutoPersistNotPersistableMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	prep := dataset.Prepare(randomNetwork(rng, 15, 10, true))
+	auto, err := BuildAuto(prep, BuildOptions{Auto: AutoOptions{
+		Members:   []Method{MethodSocReach, MethodSpaReachGRAIL},
+		Calibrate: -1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = SaveEngine(&buf, auto)
+	if !errors.Is(err, ErrNotPersistable) {
+		t.Fatalf("saving composite with GRAIL member: got %v, want ErrNotPersistable", err)
+	}
+}
+
+// TestAutoConcurrentQueries hammers one composite from several
+// goroutines; run under -race (ci.sh does) to validate the lock-free
+// feedback and tally paths.
+func TestAutoConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(257))
+	net := randomNetwork(rng, 50, 30, true)
+	prep := dataset.Prepare(net)
+	auto, err := BuildAuto(prep, BuildOptions{Auto: AutoOptions{Explore: 3, Calibrate: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := NewNaiveBFS(net)
+	// Precompute queries and ground truth on one goroutine; rng and the
+	// naive oracle are not safe for concurrent use.
+	type query struct {
+		v    int
+		r    geom.Rect
+		want bool
+	}
+	full := make([]query, 64)
+	for i := range full {
+		v := rng.Intn(net.NumVertices())
+		r := randomRegion(rng)
+		full[i] = query{v: v, r: r, want: truth.RangeReach(v, r)}
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for rep := 0; rep < 20; rep++ {
+				for _, fq := range full {
+					if auto.RangeReach(fq.v, fq.r) != fq.want {
+						done <- errors.New("concurrent auto answer diverged")
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, c := range auto.Choices() {
+		total += c
+	}
+	if want := int64(4 * 20 * len(full)); total != want {
+		t.Fatalf("choice tallies sum to %d, want %d", total, want)
+	}
+}
+
+// BenchmarkAutoOverhead measures the composite's per-query routing cost
+// against calling the same member directly on an identical workload.
+func BenchmarkAutoOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(271))
+	net := spatialCycleNetwork(rng, 400)
+	prep := dataset.Prepare(net)
+	auto, err := BuildAuto(prep, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type query struct {
+		v int
+		r geom.Rect
+	}
+	qs := make([]query, 256)
+	for i := range qs {
+		qs[i] = query{rng.Intn(net.NumVertices()), randomRegion(rng)}
+	}
+	b.Run("auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			auto.RangeReach(q.v, q.r)
+		}
+	})
+	b.Run("member", func(b *testing.B) {
+		m := auto.Members()[0]
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			m.RangeReach(q.v, q.r)
+		}
+	})
+}

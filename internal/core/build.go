@@ -33,6 +33,10 @@ const (
 	// MethodSpaReachGRAIL is the spatial-first baseline with GRAIL
 	// probes (paper §7.1).
 	MethodSpaReachGRAIL
+	// MethodAuto is the adaptive composite: a set of complementary
+	// member engines over shared labeling state, with a cost-based
+	// planner routing each query to the predicted-cheapest member.
+	MethodAuto
 )
 
 // AllMethods lists the methods of the paper's own evaluation (§6.1), in
@@ -76,6 +80,8 @@ func (m Method) String() string {
 		return "SpaReach-Feline"
 	case MethodSpaReachGRAIL:
 		return "SpaReach-GRAIL"
+	case MethodAuto:
+		return "Auto"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -105,6 +111,8 @@ type BuildOptions struct {
 	GeoReach GeoReachOptions
 	// SocReach carries the social-first options.
 	SocReach SocReachOptions
+	// Auto carries the adaptive-composite options (MethodAuto only).
+	Auto AutoOptions
 }
 
 // BuildResult is a constructed engine plus its offline costs, the raw
@@ -159,6 +167,12 @@ func BuildMethod(prep *dataset.Prepared, m Method, opts BuildOptions) (BuildResu
 		so := opts.SpaReach
 		so.Policy = opts.Policy
 		e = NewSpaReachGRAIL(prep, so)
+	case MethodAuto:
+		auto, err := BuildAuto(prep, opts)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		e = auto
 	default:
 		return BuildResult{}, fmt.Errorf("core: unknown method %d", int(m))
 	}

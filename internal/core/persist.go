@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/bfl"
 	"repro/internal/dataset"
@@ -20,6 +21,10 @@ import (
 // persisted: their builds are fast relative to loading their state.
 //
 // Format: magic "RRIX" | version u8 | method u8 | policy u8 | payload.
+// The Auto composite nests: its payload is a member count, the members'
+// own tagged sections (each a complete header + payload, so the loader
+// dispatches on the embedded method byte), and the planner's learned
+// cost coefficients.
 
 var engineMagic = [4]byte{'R', 'R', 'I', 'X'}
 
@@ -29,10 +34,19 @@ const engineVersion = 1
 var ErrNotPersistable = fmt.Errorf("core: engine is not persistable")
 
 // SaveEngine writes e to w. Supported: ThreeDReach, ThreeDReachRev,
-// SocReach, SpaReach-BFL, SpaReach-INT and GeoReach; others return
-// ErrNotPersistable.
+// SocReach, SpaReach-BFL, SpaReach-INT, GeoReach and Auto composites of
+// those; others return ErrNotPersistable.
 func SaveEngine(w io.Writer, e Engine) error {
 	bw := bufio.NewWriter(w)
+	if err := saveEngineTo(bw, e); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// saveEngineTo appends e's tagged section to bw. Composite engines
+// recurse, writing each member as a complete nested section.
+func saveEngineTo(bw *bufio.Writer, e Engine) error {
 	writeHeader := func(m Method, policy dataset.SCCPolicy) error {
 		if err := binary.Write(bw, binary.LittleEndian, engineMagic); err != nil {
 			return err
@@ -78,13 +92,31 @@ func SaveEngine(w io.Writer, e Engine) error {
 		default:
 			return fmt.Errorf("%w: SpaReach backend %T", ErrNotPersistable, reach)
 		}
+	case *Auto:
+		if err = writeHeader(MethodAuto, eng.policy); err != nil {
+			break
+		}
+		if err = binary.Write(bw, binary.LittleEndian, uint8(len(eng.members))); err != nil {
+			break
+		}
+		for i, member := range eng.members {
+			if err = saveEngineTo(bw, member); err != nil {
+				return fmt.Errorf("auto member %v: %w", eng.methods[i], err)
+			}
+		}
+		for i := range eng.members {
+			if err = binary.Write(bw, binary.LittleEndian,
+				math.Float64bits(eng.pl.Model().Coef(i))); err != nil {
+				break
+			}
+		}
 	default:
 		return fmt.Errorf("%w: %T", ErrNotPersistable, e)
 	}
 	if err != nil {
 		return fmt.Errorf("core: saving engine: %w", err)
 	}
-	return bw.Flush()
+	return nil
 }
 
 // LoadEngine reads an engine written by SaveEngine and attaches it to
@@ -93,6 +125,13 @@ func SaveEngine(w io.Writer, e Engine) error {
 // persisted reachability state is used as-is.
 func LoadEngine(r io.Reader, prep *dataset.Prepared, opts BuildOptions) (BuildResult, error) {
 	br := bufio.NewReader(r)
+	return loadEngineFrom(br, prep, opts)
+}
+
+// loadEngineFrom reads one tagged engine section from br. Composite
+// sections recurse over the same reader, so nested members consume
+// exactly their own bytes.
+func loadEngineFrom(br *bufio.Reader, prep *dataset.Prepared, opts BuildOptions) (BuildResult, error) {
 	var magic [4]byte
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
 		return BuildResult{}, fmt.Errorf("core: reading magic: %w", err)
@@ -182,6 +221,12 @@ func LoadEngine(r io.Reader, prep *dataset.Prepared, opts BuildOptions) (BuildRe
 			return BuildResult{}, err
 		}
 		e = &GeoReach{idx: idx}
+	case MethodAuto:
+		auto, err := loadAuto(br, prep, opts, policy)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		e = auto
 	default:
 		return BuildResult{}, fmt.Errorf("core: method %v is not persistable", m)
 	}
@@ -191,4 +236,64 @@ func LoadEngine(r io.Reader, prep *dataset.Prepared, opts BuildOptions) (BuildRe
 		Policy: policy,
 		Bytes:  e.MemoryBytes(),
 	}, nil
+}
+
+// loadAuto reads the composite payload: the member sections, then the
+// learned cost coefficients. Calibration is skipped — the persisted
+// coefficients carry what the previous process learned.
+func loadAuto(br *bufio.Reader, prep *dataset.Prepared, opts BuildOptions, policy dataset.SCCPolicy) (*Auto, error) {
+	var n uint8
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("core: reading auto member count: %w", err)
+	}
+	if n == 0 || int(n) > maxAutoMembers() {
+		return nil, fmt.Errorf("core: auto member count %d out of range [1,%d]", n, maxAutoMembers())
+	}
+	methods := make([]Method, n)
+	engines := make([]Engine, n)
+	for i := range engines {
+		res, err := loadEngineFrom(br, prep, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: auto member %d: %w", i, err)
+		}
+		if res.Method == MethodAuto {
+			return nil, fmt.Errorf("core: auto member %d is itself an auto composite", i)
+		}
+		methods[i] = res.Method
+		engines[i] = res.Engine
+	}
+	coefs := make([]float64, n)
+	for i := range coefs {
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("core: reading auto coefficients: %w", err)
+		}
+		coefs[i] = math.Float64frombits(bits)
+	}
+
+	a := assembleAuto(prep, policy, methods, engines, opts.Auto, harvestForward(prep, opts, engines))
+	for i, c := range coefs {
+		a.pl.Model().SetCoef(i, c)
+	}
+	return a, nil
+}
+
+// harvestForward recovers a forward labeling of prep.DAG for the
+// planner's estimator from one of the loaded members, falling back to a
+// fresh build when no member carries one. ThreeDReachRev is excluded:
+// its labeling is over the reversed DAG.
+func harvestForward(prep *dataset.Prepared, opts BuildOptions, engines []Engine) *labeling.Labeling {
+	for _, e := range engines {
+		switch eng := e.(type) {
+		case *SocReach:
+			return eng.l
+		case *ThreeDReach:
+			return eng.l
+		case *SpaReach:
+			if l, ok := eng.reach.(*labeling.Labeling); ok {
+				return l
+			}
+		}
+	}
+	return labeling.Build(prep.DAG, labeling.Options{Forest: opts.SocReach.Forest})
 }

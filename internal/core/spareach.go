@@ -71,6 +71,13 @@ func NewSpaReachBFL(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
 // interval-based labeling for the reachability probes.
 func NewSpaReachINT(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
 	l := labeling.Build(prep.DAG, labeling.Options{Forest: opts.Forest})
+	return NewSpaReachINTWithLabeling(prep, l, opts)
+}
+
+// NewSpaReachINTWithLabeling builds SpaReach-INT around an existing
+// forward labeling of prep.DAG, so composite builds (MethodAuto) can
+// share one labeling across engines instead of recomputing it.
+func NewSpaReachINTWithLabeling(prep *dataset.Prepared, l *labeling.Labeling, opts SpaReachOptions) *SpaReach {
 	return newSpaReach("SpaReach-INT", prep, l, opts)
 }
 

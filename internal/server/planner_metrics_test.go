@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	rangereach "repro"
+)
+
+// TestPlannerChoiceMetrics asserts an Auto-backed server exposes
+// rr_planner_choice_total per member and that the tallies track served
+// queries. The cache is disabled so every request routes through the
+// planner.
+func TestPlannerChoiceMetrics(t *testing.T) {
+	net := testNetwork(t)
+	idx, err := net.Build(rangereach.MethodAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Index: idx, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	members := idx.PlannerMembers()
+	if len(members) == 0 {
+		t.Fatal("auto index reports no planner members")
+	}
+
+	space := net.Space()
+	rng := rand.New(rand.NewSource(31))
+	const n = 30
+	for i := 0; i < n; i++ {
+		req := queryRequest{Vertex: rng.Intn(net.NumVertices()), Region: randRegion(rng, space)}
+		if status, body := postJSON(t, ts.Client(), ts.URL+"/v1/query", req, nil); status != http.StatusOK {
+			t.Fatalf("query status %d: %s", status, body)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+
+	if !strings.Contains(text, "# TYPE rr_planner_choice_total counter") {
+		t.Error("metrics missing rr_planner_choice_total TYPE header")
+	}
+	var total int64
+	for _, name := range members {
+		prefix := fmt.Sprintf("rr_planner_choice_total{method=%q} ", name)
+		i := strings.Index(text, prefix)
+		if i < 0 {
+			t.Errorf("metrics missing series for member %q", name)
+			continue
+		}
+		rest := text[i+len(prefix):]
+		if j := strings.IndexByte(rest, '\n'); j >= 0 {
+			rest = rest[:j]
+		}
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			t.Errorf("member %q: unparseable value %q", name, rest)
+			continue
+		}
+		total += v
+	}
+	if total != n {
+		t.Errorf("planner choice tallies sum to %d, want %d", total, n)
+	}
+
+	// A fixed-method server exposes no planner series.
+	srv2, err := New(Config{Index: net.MustBuild(rangereach.ThreeDReach)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp2, err := ts2.Client().Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if strings.Contains(string(body2), "rr_planner_choice_total") {
+		t.Error("fixed-method server exposes planner metrics")
+	}
+}

@@ -22,10 +22,13 @@ func (idx *Index) Save(w io.Writer) error {
 	return core.SaveEngine(w, idx.engine)
 }
 
-// SaveFile writes the index to the named file atomically: the bytes go
-// to a temporary file in the same directory which is renamed over the
-// destination only after a successful write and close, so a crash
-// mid-save never leaves a truncated index behind.
+// SaveFile writes the index to the named file atomically and durably:
+// the bytes go to a temporary file in the same directory which is
+// fsynced, renamed over the destination only after a successful write
+// and close, and then the directory itself is fsynced — without that
+// last step a crash shortly after SaveFile returns could roll the
+// directory entry back to the old (or no) file even though the rename
+// already "happened".
 func (idx *Index) SaveFile(path string) error {
 	dir, base := filepath.Split(path)
 	f, err := os.CreateTemp(dir, base+".tmp*")
@@ -37,6 +40,11 @@ func (idx *Index) SaveFile(path string) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("rangereach: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -50,6 +58,17 @@ func (idx *Index) SaveFile(path string) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("rangereach: %w", err)
+	}
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("rangereach: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("rangereach: syncing %s: %w", dir, err)
 	}
 	return nil
 }
@@ -105,6 +124,8 @@ func methodFromCore(m core.Method) Method {
 		return SpaReachFeline
 	case core.MethodSpaReachGRAIL:
 		return SpaReachGRAIL
+	case core.MethodAuto:
+		return MethodAuto
 	default:
 		return Naive
 	}

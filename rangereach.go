@@ -85,6 +85,12 @@ const (
 	// SpaReachGRAIL is the spatial-first baseline with GRAIL randomized
 	// interval-label probes.
 	SpaReachGRAIL
+	// MethodAuto is the adaptive composite: it builds a small set of
+	// complementary engines (SocReach + 3DReach-Rev + SpaReach-INT by
+	// default, see WithAutoMembers) over shared labeling state and
+	// routes each query to the engine a cost model predicts to be
+	// cheapest, refining the model online from observed latencies.
+	MethodAuto
 )
 
 // Methods lists the indexed methods of the paper's evaluation
@@ -119,6 +125,8 @@ func (m Method) String() string {
 		return "SpaReach-Feline"
 	case SpaReachGRAIL:
 		return "SpaReach-GRAIL"
+	case MethodAuto:
+		return "Auto"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -144,6 +152,8 @@ func (m Method) internal() (core.Method, bool) {
 		return core.MethodSpaReachFeline, true
 	case SpaReachGRAIL:
 		return core.MethodSpaReachGRAIL, true
+	case MethodAuto:
+		return core.MethodAuto, true
 	default:
 		return 0, false
 	}
