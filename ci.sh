@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # ci.sh — the checks every PR must keep green.
 #
-#   ./ci.sh        vet + build (all packages, including cmd/rrserve)
-#                  + full test suite + race-exercised concurrency tests
+#   ./ci.sh        vet + rrlint + build (all packages, including
+#                  cmd/rrserve) + full test suite + fuzz seed corpora
+#                  + race-exercised concurrency tests
 #                  + trace-overhead benchmark under -race
 #                  + rrbench -json smoke run
 #   ./ci.sh -short skips the race passes
@@ -12,11 +13,21 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
+echo "== rrlint =="
+go run ./cmd/rrlint ./...
+
 echo "== go build (all packages and binaries) =="
 go build ./...
 
 echo "== go test =="
 go test ./...
+
+# The fuzz harnesses double as invariant suites: every seed (valid and
+# corrupted index images, parity networks) runs through the deep
+# validators and the BFS oracle. This replays the committed corpora —
+# including regression inputs under testdata/fuzz — without fuzzing.
+echo "== fuzz (seed corpus) =="
+go test -run 'Fuzz' .
 
 if [[ "${1:-}" != "-short" ]]; then
     # The concurrency-sensitive packages: the root package (batch

@@ -97,7 +97,7 @@ func main() {
 			os.Exit(1)
 		}
 		if err := bench.WriteFiguresCSV(f, figures); err != nil {
-			f.Close()
+			_ = f.Close()
 			fmt.Fprintf(os.Stderr, "rrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -114,7 +114,7 @@ func main() {
 			os.Exit(1)
 		}
 		if err := bench.WritePerfJSON(f, s.PerfReport()); err != nil {
-			f.Close()
+			_ = f.Close()
 			fmt.Fprintf(os.Stderr, "rrbench: %v\n", err)
 			os.Exit(1)
 		}

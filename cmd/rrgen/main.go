@@ -122,7 +122,7 @@ func emitQueries(net *dataset.Network, n int, extent float64, seed int64, path, 
 			q.Vertex, q.Region.Min.X, q.Region.Min.Y, q.Region.Max.X, q.Region.Max.Y)
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -23,6 +23,11 @@
 // snapshots, so queries never block on updates. SIGINT/SIGTERM triggers
 // a graceful shutdown that drains in-flight requests.
 //
+// -check deep-validates the index invariants (interval labels,
+// condensation acyclicity, spatial tree containment) after the build or
+// load and refuses to start if any fail — useful when serving an index
+// file of uncertain provenance.
+//
 // Observability: -log picks the request-log format (text, json, off),
 // -slow-query elevates slow requests to warnings, -trace-sample N runs
 // every Nth query through the tracing path (feeding the
@@ -65,6 +70,7 @@ func main() {
 		slowQ     = flag.Duration("slow-query", 250*time.Millisecond, "elevate slower requests to warnings (0 disables)")
 		traceN    = flag.Int("trace-sample", 0, "trace every Nth query into the rr_stage_seconds histograms (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; keep private)")
+		checkIdx  = flag.Bool("check", false, "deep-validate index invariants before serving; refuse to start on failure")
 	)
 	flag.Parse()
 
@@ -106,6 +112,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *checkIdx {
+		var verr error
+		if cfg.Dynamic != nil {
+			verr = cfg.Dynamic.Validate()
+		} else {
+			verr = cfg.Index.Validate()
+		}
+		if verr != nil {
+			fmt.Fprintf(os.Stderr, "rrserve: index failed validation, refusing to serve: %v\n", verr)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "rrserve: index invariants validated")
 	}
 
 	srv, err := server.New(cfg)

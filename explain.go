@@ -103,7 +103,9 @@ type StageStat struct {
 }
 
 // statsFromSpan converts a completed trace span into the public stats.
-func statsFromSpan(method string, sp *trace.Span, total time.Duration) QueryStats {
+// It takes the span by value: the query has finished, so the copy is
+// cheap and there is no nil pointer to guard against.
+func statsFromSpan(method string, sp trace.Span, total time.Duration) QueryStats {
 	qs := QueryStats{
 		Method:       method,
 		Duration:     total,
@@ -185,7 +187,7 @@ func (idx *Index) Explain(v int, r Rect) (bool, QueryStats) {
 	var sp trace.Span
 	start := time.Now()
 	ok := idx.engine.RangeReachTraced(v, r.internal(), &sp)
-	return ok, statsFromSpan(idx.engine.Name(), &sp, time.Since(start))
+	return ok, statsFromSpan(idx.engine.Name(), sp, time.Since(start))
 }
 
 // Explain answers RangeReach(v, r) against the current dynamic state
@@ -194,7 +196,7 @@ func (idx *DynamicIndex) Explain(v int, r Rect) (bool, QueryStats) {
 	var sp trace.Span
 	start := time.Now()
 	ok := idx.engine.RangeReachTraced(v, r.internal(), &sp)
-	return ok, statsFromSpan(idx.engine.Name(), &sp, time.Since(start))
+	return ok, statsFromSpan(idx.engine.Name(), sp, time.Since(start))
 }
 
 // Explain answers RangeReach(v, r) against the captured state and
@@ -203,5 +205,5 @@ func (s *DynamicSnapshot) Explain(v int, r Rect) (bool, QueryStats) {
 	var sp trace.Span
 	start := time.Now()
 	ok := s.snap.RangeReachTraced(v, r.internal(), &sp)
-	return ok, statsFromSpan("3DReach-Dynamic", &sp, time.Since(start))
+	return ok, statsFromSpan("3DReach-Dynamic", sp, time.Since(start))
 }

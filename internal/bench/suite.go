@@ -125,7 +125,8 @@ func positives(e core.Engine, qs []workload.Query) int {
 }
 
 func (s *Suite) printf(format string, args ...any) {
-	fmt.Fprintf(s.cfg.Out, format, args...)
+	// Progress output is best-effort; a broken Out must not abort a run.
+	_, _ = fmt.Fprintf(s.cfg.Out, format, args...)
 }
 
 // fmtDuration renders a duration in the unit mix the paper's plots use.

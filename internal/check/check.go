@@ -1,0 +1,199 @@
+// Package check implements deep structural validators for the index
+// data structures: the interval labeling's post-order bijection, label
+// well-formedness and nesting, condensation acyclicity, and the dynamic
+// labeling's consistency with its accumulated graph. The spatial-index
+// validators live with their structures (rtree.Tree.Validate,
+// kdtree.Tree.Validate) because they need node internals; this package
+// holds everything expressible through exported surfaces.
+//
+// Validators return nil for a well-formed structure and a descriptive
+// error naming the first violated invariant otherwise. They run in
+// O(V + E + labels) and are cheap enough to call after every build,
+// load and update batch in tests (and behind rrserve's -check flag).
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/intervals"
+	"repro/internal/labeling"
+)
+
+// Posts validates that post and order describe a 1-based post-order
+// bijection: every post number lies in [1, n], and order inverts post.
+func Posts(post, order []int32) error {
+	n := len(post)
+	if len(order) != n {
+		return fmt.Errorf("check: %d post numbers but %d order slots", n, len(order))
+	}
+	for v, p := range post {
+		if p < 1 || int(p) > n {
+			return fmt.Errorf("check: vertex %d has post %d outside [1,%d]", v, p, n)
+		}
+		if order[p-1] != int32(v) {
+			return fmt.Errorf("check: post bijection broken: post(%d) = %d but order[%d] = %d",
+				v, p, p-1, order[p-1])
+		}
+	}
+	return nil
+}
+
+// Set validates one label set: every interval has lo ≤ hi (a "swapped"
+// interval inverts the containment test) and intervals are sorted and
+// disjoint. Adjacent-but-unmerged intervals are tolerated — the
+// compression ablation produces them deliberately, and the containment
+// queries stay correct.
+func Set(v int, s intervals.Set) error {
+	for i, iv := range s {
+		if iv.Lo > iv.Hi {
+			return fmt.Errorf("check: vertex %d: interval %d [%d,%d] is swapped (lo > hi)", v, i, iv.Lo, iv.Hi)
+		}
+		if i > 0 && iv.Lo <= s[i-1].Hi {
+			return fmt.Errorf("check: vertex %d: intervals %d and %d overlap or are out of order", v, i-1, i)
+		}
+	}
+	return nil
+}
+
+// labelSource abstracts the two labeling representations.
+type labelSource func(v int) intervals.Set
+
+// labels validates the per-vertex label sets against the post numbers:
+// well-formed sets, each containing the vertex's own post number (v is
+// its own descendant).
+func labels(post []int32, at labelSource) error {
+	for v := range post {
+		s := at(v)
+		if err := Set(v, s); err != nil {
+			return err
+		}
+		if !s.ContainsCanonical(post[v]) {
+			return fmt.Errorf("check: vertex %d: label set %v does not contain own post %d", v, s, post[v])
+		}
+	}
+	return nil
+}
+
+// edgeNesting validates Lemma 3.1's closure property over one edge
+// (u, v): since everything v reaches u also reaches, L(u) must cover
+// L(v) — in particular it must contain post(v).
+func edgeNesting(u, v int, post []int32, at labelSource) error {
+	lu, lv := at(u), at(v)
+	if !lu.ContainsCanonical(post[v]) {
+		return fmt.Errorf("check: edge (%d,%d): L(%d) does not contain post(%d) = %d", u, v, u, v, post[v])
+	}
+	if !lu.CoversCanonical(lv) {
+		return fmt.Errorf("check: edge (%d,%d): L(%d) does not cover L(%d); labels are not properly nested",
+			u, v, u, v)
+	}
+	return nil
+}
+
+// Labeling validates l against the condensation DAG it was built over:
+// the DAG is acyclic, post numbers are a bijection onto 1..n, label
+// sets are well-formed and self-containing, and every edge's labels
+// nest properly.
+func Labeling(g *graph.Graph, l *labeling.Labeling) error {
+	n := g.NumVertices()
+	if len(l.Post) != n || len(l.Order) != n || len(l.Labels) != n {
+		return fmt.Errorf("check: labeling sized %d/%d/%d for a %d-vertex DAG",
+			len(l.Post), len(l.Order), len(l.Labels), n)
+	}
+	if !g.IsDAG() {
+		return fmt.Errorf("check: condensation contains a cycle")
+	}
+	if err := Posts(l.Post, l.Order); err != nil {
+		return err
+	}
+	if err := labels(l.Post, func(v int) intervals.Set { return l.Labels[v] }); err != nil {
+		return err
+	}
+	var firstErr error
+	g.Edges(func(u, v int) {
+		if firstErr == nil {
+			firstErr = edgeNesting(u, v, l.Post, func(w int) intervals.Set { return l.Labels[w] })
+		}
+	})
+	return firstErr
+}
+
+// Dynamic validates an updatable labeling against the graph it has
+// absorbed: dense post numbers, well-formed self-containing labels,
+// per-edge nesting, and acyclicity of the accumulated edge set.
+func Dynamic(d *labeling.Dynamic) error {
+	n := d.NumVertices()
+	post := make([]int32, n)
+	order := make([]int32, n)
+	for v := 0; v < n; v++ {
+		p := d.PostOf(v)
+		if p < 1 || int(p) > n {
+			return fmt.Errorf("check: vertex %d has post %d outside [1,%d]", v, p, n)
+		}
+		post[v] = p
+		order[p-1] = int32(v)
+	}
+	if err := Posts(post, order); err != nil {
+		return err
+	}
+	if err := labels(post, d.Labels); err != nil {
+		return err
+	}
+	var firstErr error
+	indeg := make([]int32, n)
+	adj := make([][]int32, n)
+	d.Edges(func(u, v int) {
+		if firstErr == nil {
+			firstErr = edgeNesting(u, v, post, d.Labels)
+		}
+		adj[u] = append(adj[u], int32(v))
+		indeg[v]++
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	// Kahn's algorithm: the accumulated edge set must still be acyclic
+	// (AddEdge promises to reject cycle-closing edges).
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, v := range adj[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("check: dynamic labeling's accumulated graph contains a cycle (%d of %d vertices ordered)", seen, n)
+	}
+	return nil
+}
+
+// View validates a published snapshot of the dynamic labeling. A view
+// carries no edges, so only the shape invariants are checkable: a post
+// bijection and well-formed, self-containing label sets.
+func View(v labeling.View) error {
+	n := v.NumVertices()
+	post := make([]int32, n)
+	order := make([]int32, n)
+	for u := 0; u < n; u++ {
+		p := v.PostOf(u)
+		if p < 1 || int(p) > n {
+			return fmt.Errorf("check: vertex %d has post %d outside [1,%d]", u, p, n)
+		}
+		post[u] = p
+		order[p-1] = int32(u)
+	}
+	if err := Posts(post, order); err != nil {
+		return err
+	}
+	return labels(post, v.Labels)
+}

@@ -132,6 +132,7 @@ func BuildMethod(prep *dataset.Prepared, m Method, opts BuildOptions) (BuildResu
 	if opts.Policy == dataset.MBR && !m.SupportsMBR() {
 		return BuildResult{}, fmt.Errorf("core: %v has no MBR variant", m)
 	}
+	//lint:ignore hotclock build-time measurement, not the query path
 	start := time.Now()
 	var e Engine
 	switch m {
@@ -177,9 +178,10 @@ func BuildMethod(prep *dataset.Prepared, m Method, opts BuildOptions) (BuildResu
 		return BuildResult{}, fmt.Errorf("core: unknown method %d", int(m))
 	}
 	return BuildResult{
-		Engine:    e,
-		Method:    m,
-		Policy:    opts.Policy,
+		Engine: e,
+		Method: m,
+		Policy: opts.Policy,
+		//lint:ignore hotclock build-time measurement, not the query path
 		BuildTime: time.Since(start),
 		Bytes:     e.MemoryBytes(),
 	}, nil

@@ -65,7 +65,7 @@ func SaveFile(path string, n *Network) error {
 		return fmt.Errorf("dataset: %w", err)
 	}
 	if err := Save(f, n); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

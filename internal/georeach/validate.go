@@ -1,0 +1,128 @@
+package georeach
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Validate deep-checks the SPA-Graph invariants the §2.2.2 pruning
+// rules are sound against:
+//
+//   - GeoB is consistent (set whenever the component has own spatial
+//     members) and monotone over DAG edges;
+//   - the class lattice is monotone: a G-vertex only has G successors,
+//     an R-vertex never has a B successor with spatial reach;
+//   - every member geometry lies inside the grid hierarchy's space —
+//     the property whose violation lets CoverRect clamp a real point
+//     into the wrong cell (the bug the parity fuzzer found);
+//   - a G-vertex's ReachGrid is non-empty, holds only well-formed
+//     cells, and covers its own members' seed cells and every
+//     successor ReachGrid (directly or through a coarser ancestor);
+//   - an R-vertex's RMBR contains its own member geometries and every
+//     spatial-reaching successor's RMBR.
+//
+// It returns nil for a sound SPA-Graph and a descriptive error naming
+// the first violated invariant otherwise.
+func (idx *Index) Validate() error {
+	n := idx.prep.NumComponents()
+	if len(idx.kind) != n || len(idx.geoB) != n || len(idx.rmbr) != n || len(idx.grids) != n {
+		return fmt.Errorf("georeach: annotation slices sized %d/%d/%d/%d for %d components",
+			len(idx.kind), len(idx.geoB), len(idx.rmbr), len(idx.grids), n)
+	}
+	space := idx.h.Space()
+	for v := 0; v < n; v++ {
+		members := idx.prep.SpatialMembers[v]
+		if len(members) > 0 && !idx.geoB[v] {
+			return fmt.Errorf("georeach: component %d has %d spatial members but GeoB unset", v, len(members))
+		}
+		if !idx.geoB[v] && idx.kind[v] != BVertex {
+			return fmt.Errorf("georeach: component %d has kind %d without spatial reach", v, idx.kind[v])
+		}
+		if idx.kind[v] == GVertex {
+			if idx.grids[v].Len() == 0 {
+				return fmt.Errorf("georeach: G-vertex %d has an empty ReachGrid", v)
+			}
+			for _, c := range idx.grids[v].Cells() {
+				if int(c.Level) >= idx.h.Levels() {
+					return fmt.Errorf("georeach: G-vertex %d cell %v above top level %d", v, c, idx.h.Levels()-1)
+				}
+				if side := idx.h.SideCells(c.Level); c.X < 0 || c.X >= side || c.Y < 0 || c.Y >= side {
+					return fmt.Errorf("georeach: G-vertex %d cell %v outside the %d-cell grid", v, c, side)
+				}
+			}
+		} else if idx.grids[v].Len() != 0 {
+			return fmt.Errorf("georeach: non-G component %d stores a ReachGrid", v)
+		}
+
+		for _, m := range members {
+			g := idx.prep.GeometryOf(m)
+			if !space.ContainsRect(g) {
+				return fmt.Errorf("georeach: member %d of component %d at %v outside the grid space %v",
+					m, v, g, space)
+			}
+			switch idx.kind[v] {
+			case GVertex:
+				uncovered := grid.Cell{}
+				ok := true
+				idx.h.CoverRect(g, 0, func(c grid.Cell) {
+					if ok && !idx.coveredBy(c, idx.grids[v]) {
+						ok, uncovered = false, c
+					}
+				})
+				if !ok {
+					return fmt.Errorf("georeach: member %d of G-vertex %d seeds cell %v missing from its ReachGrid",
+						m, v, uncovered)
+				}
+			case RVertex:
+				if !idx.rmbr[v].ContainsRect(g) {
+					return fmt.Errorf("georeach: member %d of R-vertex %d at %v outside its RMBR %v",
+						m, v, g, idx.rmbr[v])
+				}
+			}
+		}
+
+		for _, u := range idx.prep.DAG.Out(v) {
+			if !idx.geoB[u] {
+				continue
+			}
+			if !idx.geoB[v] {
+				return fmt.Errorf("georeach: GeoB not monotone: component %d unset with spatial-reaching successor %d", v, u)
+			}
+			switch idx.kind[v] {
+			case GVertex:
+				if idx.kind[u] != GVertex {
+					return fmt.Errorf("georeach: G-vertex %d has non-G successor %d (kind %d)", v, u, idx.kind[u])
+				}
+				for _, c := range idx.grids[u].Cells() {
+					if !idx.coveredBy(c, idx.grids[v]) {
+						return fmt.Errorf("georeach: successor %d cell %v missing from G-vertex %d's ReachGrid", u, c, v)
+					}
+				}
+			case RVertex:
+				if idx.kind[u] == BVertex {
+					return fmt.Errorf("georeach: R-vertex %d has B-vertex successor %d with spatial reach", v, u)
+				}
+				if !idx.rmbr[v].ContainsRect(idx.rmbr[u]) {
+					return fmt.Errorf("georeach: successor %d RMBR %v outside R-vertex %d's RMBR %v",
+						u, idx.rmbr[u], v, idx.rmbr[v])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// coveredBy reports whether c or one of its coarser ancestors is in s.
+func (idx *Index) coveredBy(c grid.Cell, s grid.CellSet) bool {
+	for {
+		if s.Has(c) {
+			return true
+		}
+		p, ok := idx.h.Parent(c)
+		if !ok {
+			return false
+		}
+		c = p
+	}
+}

@@ -1,0 +1,121 @@
+package georeach
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+func wantValidateErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("want error containing %q, got: %v", substr, err)
+	}
+}
+
+func TestValidateRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		net := randomNetwork(rng, 2+rng.Intn(25), 1+rng.Intn(20))
+		prep := dataset.Prepare(net)
+		params := []Params{
+			{},
+			{MaxReachGrids: 1, MergeCount: 1, Levels: 3},
+			{MaxRMBRFraction: 0.01, MaxReachGrids: 2, Levels: 5},
+		}
+		idx := Build(prep, params[trial%len(params)])
+		if err := idx.Validate(); err != nil {
+			t.Fatalf("trial %d: fresh SPA-Graph rejected: %v", trial, err)
+		}
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Read(prep, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := loaded.Validate(); err != nil {
+			t.Fatalf("trial %d: reloaded SPA-Graph rejected: %v", trial, err)
+		}
+	}
+}
+
+// collinearIndex builds the parity fuzzer's regression shape: all
+// venues on the line x=6, which degenerates the grid space.
+func collinearIndex(t *testing.T) *Index {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	net := &dataset.Network{
+		Name:    "collinear",
+		Graph:   b.Build(),
+		Spatial: []bool{false, false, true, true},
+		Points:  []geom.Point{{}, {}, geom.Pt(6, 6), geom.Pt(6, 49)},
+	}
+	return Build(dataset.Prepare(net), Params{})
+}
+
+func TestValidateCollinearSpace(t *testing.T) {
+	// Before the degenerate-axis fix in grid.NewHierarchy, the space
+	// excluded the real points and this failed with "outside the grid
+	// space".
+	idx := collinearIndex(t)
+	if err := idx.Validate(); err != nil {
+		t.Fatalf("collinear SPA-Graph rejected: %v", err)
+	}
+}
+
+func TestValidateCorruptions(t *testing.T) {
+	comp := func(idx *Index, orig int) int { return int(idx.prep.CompOf(orig)) }
+
+	t.Run("geoB cleared", func(t *testing.T) {
+		idx := collinearIndex(t)
+		idx.geoB[comp(idx, 3)] = false
+		wantValidateErr(t, idx.Validate(), "GeoB unset")
+	})
+	t.Run("geoB not monotone", func(t *testing.T) {
+		idx := collinearIndex(t)
+		v := comp(idx, 1)
+		idx.geoB[v] = false
+		idx.kind[v] = BVertex
+		idx.grids[v] = nil
+		wantValidateErr(t, idx.Validate(), "not monotone")
+	})
+	t.Run("missing cell", func(t *testing.T) {
+		idx := collinearIndex(t)
+		v := comp(idx, 3)
+		if idx.kind[v] != GVertex {
+			t.Skipf("component is kind %d, not G", idx.kind[v])
+		}
+		for k := range idx.grids[v] {
+			delete(idx.grids[v], k)
+			break
+		}
+		wantValidateErr(t, idx.Validate(), "ReachGrid")
+	})
+	t.Run("shrunken RMBR", func(t *testing.T) {
+		// Downgrade every spatial-reaching component to R consistently,
+		// then shrink one RMBR away from its member.
+		idx := collinearIndex(t)
+		big := geom.NewRect(-100, -100, 100, 100)
+		for v := range idx.kind {
+			if idx.geoB[v] {
+				idx.kind[v] = RVertex
+				idx.grids[v] = nil
+				idx.rmbr[v] = big
+			}
+		}
+		idx.rmbr[comp(idx, 3)] = geom.NewRect(-10, -10, -9, -9)
+		wantValidateErr(t, idx.Validate(), "RMBR")
+	})
+}

@@ -50,14 +50,21 @@ func NewHierarchy(space geom.Rect, levels int) *Hierarchy {
 	if levels < 1 || levels > 20 {
 		panic(fmt.Sprintf("grid: levels %d out of range [1,20]", levels))
 	}
-	if !space.Valid() || space.Width() == 0 || space.Height() == 0 {
-		// Degenerate spaces (all points identical or empty) still need a
-		// usable hierarchy; inflate to a unit square around the space.
-		c := space.Center()
-		if !space.Valid() {
-			c = geom.Pt(0, 0)
+	if !space.Valid() {
+		space = geom.NewRect(-0.5, -0.5, 0.5, 0.5)
+	} else {
+		// Inflate only degenerate axes (collinear or identical points):
+		// the surviving extent must stay intact so every point of the
+		// space remains inside the hierarchy and CellAt never clamps a
+		// real point into the wrong cell.
+		if space.Width() == 0 {
+			space.Min.X -= 0.5
+			space.Max.X += 0.5
 		}
-		space = geom.NewRect(c.X-0.5, c.Y-0.5, c.X+0.5, c.Y+0.5)
+		if space.Height() == 0 {
+			space.Min.Y -= 0.5
+			space.Max.Y += 0.5
+		}
 	}
 	return &Hierarchy{space: space, top: uint8(levels - 1)}
 }

@@ -99,6 +99,35 @@ func TestDegenerateSpace(t *testing.T) {
 	}
 }
 
+func TestCollinearSpace(t *testing.T) {
+	// A zero-width space (all points on the line x=6). Only the
+	// degenerate axis may be inflated: the points must remain inside the
+	// space, and each must land in a cell whose rectangle contains it —
+	// otherwise a ReachGrid seeded from these points fails to cover
+	// them and GeoReach's G-vertex pruning gives false negatives.
+	pts := []geom.Point{geom.Pt(6, 6), geom.Pt(6, 49)}
+	space := geom.RectFromPoint(pts[0]).UnionPoint(pts[1])
+	for _, levels := range []int{1, 4, 8} {
+		h := NewHierarchy(space, levels)
+		for _, p := range pts {
+			if !h.Space().ContainsPoint(p) {
+				t.Errorf("levels=%d: space %v lost point %v", levels, h.Space(), p)
+			}
+			c := h.CellAt(p, 0)
+			if !h.Rect(c).ContainsPoint(p) {
+				t.Errorf("levels=%d: cell %v (%v) misses point %v", levels, c, h.Rect(c), p)
+			}
+		}
+	}
+	// Same for a zero-height space.
+	h := NewHierarchy(geom.NewRect(2, 7, 40, 7), 5)
+	for _, p := range []geom.Point{geom.Pt(2, 7), geom.Pt(40, 7)} {
+		if !h.Rect(h.CellAt(p, 0)).ContainsPoint(p) {
+			t.Errorf("zero-height space: cell misses point %v", p)
+		}
+	}
+}
+
 func TestNewHierarchyPanics(t *testing.T) {
 	for _, levels := range []int{0, 21, -3} {
 		func() {

@@ -6,6 +6,8 @@
 package kdtree
 
 import (
+	"fmt"
+
 	"repro/internal/geom"
 	"repro/internal/trace"
 )
@@ -212,4 +214,14 @@ func (t *Tree) CheckInvariants() string {
 		return check(mid+1, hi, depth+1)
 	}
 	return check(0, len(t.pts), 0)
+}
+
+// Validate deep-checks the k-d ordering invariant and returns a
+// descriptive error for the first violation, matching the Validate
+// convention of the other index structures.
+func (t *Tree) Validate() error {
+	if msg := t.CheckInvariants(); msg != "" {
+		return fmt.Errorf("kdtree: %s", msg)
+	}
+	return nil
 }

@@ -1,0 +1,34 @@
+package kdtree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{X: float64(i % 8), Y: float64(i / 8), ID: int32(i)}
+	}
+	tr := Build(pts, 2)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("freshly built tree rejected: %v", err)
+	}
+
+	// Swapping the extreme points breaks the median ordering at the
+	// root split.
+	tr.pts[0], tr.pts[len(tr.pts)-1] = tr.pts[len(tr.pts)-1], tr.pts[0]
+	err := tr.Validate()
+	if err == nil {
+		t.Fatal("corrupted tree accepted")
+	}
+	if !strings.Contains(err.Error(), "split") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := Build(nil, 2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -109,6 +109,17 @@ func (d *Dynamic) Reach(u, v int) bool {
 	return d.labels[u].ContainsCanonical(d.post[v])
 }
 
+// Edges calls fn for every directed edge (u, v) currently absorbed into
+// the labeling, in unspecified order. Validators use it to re-derive
+// the graph the labels claim to describe.
+func (d *Dynamic) Edges(fn func(u, v int)) {
+	for u, adj := range d.out {
+		for _, v := range adj {
+			fn(u, int(v))
+		}
+	}
+}
+
 // PostOf returns the post-order number of v.
 func (d *Dynamic) PostOf(v int) int32 { return d.post[v] }
 

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicAlign reports sync/atomic 64-bit operations on struct fields
+// that are not 64-bit-aligned on 32-bit platforms. The first word of an
+// allocated struct is 64-bit-aligned, but interior fields are only
+// 4-byte-aligned under GOARCH=386/arm — a misaligned atomic panics
+// there at runtime. The fix is to move the field first or pad before
+// it; better yet, use the atomic.Int64/Uint64 types, which carry their
+// own alignment. Offsets are computed under 32-bit (386) sizes, so code
+// that happens to align on amd64 is still flagged.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "sync/atomic 64-bit operations require 64-bit-aligned fields",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic functions operating on 64-bit
+// words through a pointer first argument.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicAlign(pass *Pass) {
+	// 32-bit sizes expose the worst-case field offsets.
+	sizes := types.SizesFor("gc", "386")
+	pass.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+			return true
+		}
+		un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return true
+		}
+		sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Pkg.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		off, known := fieldOffset32(sizes, selection)
+		if known && off%8 != 0 {
+			pass.Reportf(sel.Pos(),
+				"atomic 64-bit access to %s at offset %d is not 64-bit-aligned on 32-bit platforms; move the field first, pad it, or use atomic.Int64/Uint64",
+				selection.Obj().Name(), off)
+		}
+		return true
+	})
+}
+
+// fieldOffset32 computes the byte offset of the selected field within
+// its outermost allocated struct under 32-bit sizes. Selecting through
+// an embedded pointer starts a new allocation, which resets the offset
+// (the pointee is independently 64-bit-aligned at offset 0).
+func fieldOffset32(sizes types.Sizes, sel *types.Selection) (int64, bool) {
+	t := deref(sel.Recv())
+	var off int64
+	for _, idx := range sel.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(fields)[idx]
+		ft := st.Field(idx).Type()
+		if p, ok := types.Unalias(ft).(*types.Pointer); ok {
+			t = p.Elem()
+			off = 0
+			continue
+		}
+		t = ft
+	}
+	return off, true
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck reports call statements that silently discard an error
+// result. Assigning to the blank identifier (`_ = f.Close()`) is an
+// explicit, visible discard and stays allowed; a bare call statement is
+// not. A small allowlist covers writers that cannot fail or keep a
+// sticky error by contract:
+//
+//   - fmt.Print/Printf/Println (stdout), and fmt.Fprint* when the
+//     destination is os.Stdout, os.Stderr, a *strings.Builder, a
+//     *bytes.Buffer or a *bufio.Writer;
+//   - methods on *strings.Builder and *bytes.Buffer (never fail);
+//   - methods on *bufio.Writer except Flush — writes latch a sticky
+//     error that the mandatory Flush check surfaces.
+//
+// defer'd and go'd calls are skipped: their results are discarded by
+// language rule, and `defer f.Close()` on read-only files is idiomatic.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "no silently discarded error returns",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.inspect(func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !callReturnsError(info, call) || errcheckAllowed(info, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "error result of %s is silently discarded; handle it or assign to _",
+			types.ExprString(call.Fun))
+		return true
+	})
+}
+
+// callReturnsError reports whether the call's results include an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// errcheckAllowed implements the allowlist described on ErrCheck.
+func errcheckAllowed(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if recv := receiverNamed(fn); recv != nil {
+		pkg, name := recv.Obj().Pkg(), recv.Obj().Name()
+		if pkg == nil {
+			return false
+		}
+		switch {
+		case pkg.Path() == "strings" && name == "Builder":
+			return true
+		case pkg.Path() == "bytes" && name == "Buffer":
+			return true
+		case pkg.Path() == "bufio" && name == "Writer" && fn.Name() != "Flush":
+			return true
+		}
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				return benignWriter(info, call.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// benignWriter reports whether the fmt.Fprint* destination is one whose
+// write errors are ignorable (std streams) or surfaced elsewhere
+// (sticky-error and never-fail writers).
+func benignWriter(info *types.Info, arg ast.Expr) bool {
+	arg = ast.Unparen(arg)
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := deref(tv.Type)
+	return namedFrom(t, "strings", "Builder") ||
+		namedFrom(t, "bytes", "Buffer") ||
+		namedFrom(t, "bufio", "Writer")
+}

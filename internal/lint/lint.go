@@ -1,0 +1,235 @@
+// Package lint is a from-scratch static-analysis driver for this
+// module, built on go/parser, go/ast and go/types only (no x/tools
+// dependency). It loads every package of the module (stdlib imports are
+// type-checked from source) and runs a set of project-specific
+// analyzers that guard the invariants the reachability engines rely on:
+// 64-bit atomic alignment, nil-safe trace spans, clock-free hot paths,
+// deterministic randomness, checked errors, lock discipline, and
+// engine/persistence parity. cmd/rrlint is the CLI front end and a
+// ci.sh gate.
+//
+// Individual findings can be suppressed with a justified directive on
+// the offending line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	// Pos locates the finding in the source.
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Message describes the problem.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check. Exactly one of Run (per package) and
+// RunModule (whole module, for cross-package invariants) is set.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+	// RunModule analyzes the whole module at once.
+	RunModule func(*ModulePass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Fset resolves positions.
+	Fset *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	analyzer *Analyzer
+	out      *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries a module-level analyzer's view of every package.
+type ModulePass struct {
+	// Fset resolves positions.
+	Fset *token.FileSet
+	// Pkgs are the module's packages in dependency order.
+	Pkgs []*Package
+
+	analyzer *Analyzer
+	out      *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer of the suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicAlign,
+		TraceSpan,
+		HotClock,
+		MathRand,
+		ErrCheck,
+		LockCopy,
+		DeferUnlock,
+		ParityGuard,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over the module and returns the surviving
+// findings sorted by position. Findings on a line carrying (or directly
+// below) a matching //lint:ignore directive are dropped; malformed
+// directives are themselves reported.
+func Run(mod *Module, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for _, pkg := range mod.Pkgs {
+			a.Run(&Pass{Fset: mod.Fset, Pkg: pkg, analyzer: a, out: &raw})
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Fset: mod.Fset, Pkgs: mod.Pkgs, analyzer: a, out: &raw})
+		}
+	}
+	ig, bad := collectIgnores(mod.Fset, mod.Pkgs)
+	return Filter(raw, ig, bad)
+}
+
+// RunPackage executes per-package analyzers (and module analyzers, over
+// just this package) against a single package — the fixture-test entry
+// point. Directives in the package still apply.
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		if a.Run != nil {
+			a.Run(&Pass{Fset: fset, Pkg: pkg, analyzer: a, out: &raw})
+		}
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Fset: fset, Pkgs: []*Package{pkg}, analyzer: a, out: &raw})
+		}
+	}
+	ig, bad := collectIgnores(fset, []*Package{pkg})
+	return Filter(raw, ig, bad)
+}
+
+// ignoreKey identifies one suppressed (file, line, analyzer) slot.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores scans every comment for //lint:ignore directives. A
+// directive suppresses findings of the named analyzer on its own line
+// and on the following line (the comment-above-statement idiom).
+// Directives without an analyzer name or a reason are returned as
+// findings of their own.
+func collectIgnores(fset *token.FileSet, pkgs []*Package) (map[ignoreKey]bool, []Finding) {
+	ignores := make(map[ignoreKey]bool)
+	var bad []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Pos:      fset.Position(c.Pos()),
+							Analyzer: "directive",
+							Message:  "malformed //lint:ignore: want `//lint:ignore <analyzer> <reason>`",
+						})
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, name := range strings.Split(fields[0], ",") {
+						ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
+						ignores[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// Filter drops findings suppressed by directives, appends the malformed
+// directive reports, and sorts by position.
+func Filter(raw []Finding, ignores map[ignoreKey]bool, bad []Finding) []Finding {
+	out := make([]Finding, 0, len(raw)+len(bad))
+	for _, f := range raw {
+		if ignores[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// inspect walks every file of the pass's package.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

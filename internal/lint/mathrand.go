@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// MathRand forbids the global math/rand generator in library packages.
+// Benchmarks and property tests in this repo are reproducible because
+// every randomized component takes an injected, seeded *rand.Rand (or a
+// seed to construct one); a call to the package-level generator
+// reintroduces cross-run nondeterminism and data races under parallel
+// benchmarks. Constructors (New, NewSource, NewZipf) stay allowed —
+// they are exactly how the seeded generators get made. Package main is
+// exempt: binaries own their top-level seeding policy.
+var MathRand = &Analyzer{
+	Name: "mathrand",
+	Doc:  "no global math/rand state in library packages",
+	Run:  runMathRand,
+}
+
+// mathRandAllowed are the math/rand package-level functions that do not
+// touch the global generator.
+var mathRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runMathRand(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+	pass.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		if mathRandAllowed[fn.Name()] || receiverNamed(fn) != nil {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"rand.%s uses the global math/rand generator; inject a seeded *rand.Rand for reproducible runs",
+			fn.Name())
+		return true
+	})
+}

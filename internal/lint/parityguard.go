@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// geomPkg is the import path of the geometry package whose Rect type
+// identifies the engine RangeReach signature.
+const geomPkg = "repro/internal/geom"
+
+// ParityGuard checks two cross-package invariants of the engine suite:
+//
+//  1. Every type implementing the engine-shaped RangeReach(int,
+//     geom.Rect) bool also implements RangeReachTraced(int, geom.Rect,
+//     *trace.Span) bool. The EXPLAIN layer, the rr_stage_seconds
+//     metrics and the planner's feedback path all route through the
+//     traced variant — an engine without it silently vanishes from
+//     observability.
+//  2. Persistence section magics ([4]byte package-level variables whose
+//     name contains "magic", and their string-typed equivalents) are
+//     pairwise distinct across the module, so a reader can never
+//     misparse one engine's section as another's.
+var ParityGuard = &Analyzer{
+	Name:      "parityguard",
+	Doc:       "traced-variant parity and unique persistence section tags",
+	RunModule: runParityGuard,
+}
+
+func runParityGuard(pass *ModulePass) {
+	checkTracedParity(pass)
+	checkMagicUniqueness(pass)
+}
+
+// checkTracedParity enforces invariant 1.
+func checkTracedParity(pass *ModulePass) {
+	for _, pkg := range pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			ms := types.NewMethodSet(types.NewPointer(named))
+			if !hasEngineRangeReach(ms) {
+				continue
+			}
+			if !hasEngineRangeReachTraced(ms) {
+				pass.Reportf(tn.Pos(),
+					"%s implements RangeReach but not RangeReachTraced; tracing, EXPLAIN and the planner cannot observe it",
+					tn.Name())
+			}
+		}
+	}
+}
+
+func methodSig(ms *types.MethodSet, name string) *types.Signature {
+	sel := ms.Lookup(nil, name)
+	if sel == nil {
+		return nil
+	}
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return nil
+	}
+	// Lookup(nil, ...) only finds exported names; engine methods are
+	// exported, so a nil here simply means "not implemented".
+	return fn.Type().(*types.Signature)
+}
+
+// hasEngineRangeReach matches RangeReach(int, geom.Rect) bool.
+func hasEngineRangeReach(ms *types.MethodSet) bool {
+	sig := methodSig(ms, "RangeReach")
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isInt(sig.Params().At(0).Type()) &&
+		namedFrom(sig.Params().At(1).Type(), geomPkg, "Rect") &&
+		isBool(sig.Results().At(0).Type())
+}
+
+// hasEngineRangeReachTraced matches RangeReachTraced(int, geom.Rect,
+// *trace.Span) bool.
+func hasEngineRangeReachTraced(ms *types.MethodSet) bool {
+	sig := methodSig(ms, "RangeReachTraced")
+	if sig == nil || sig.Params().Len() != 3 || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := types.Unalias(sig.Params().At(2).Type()).(*types.Pointer)
+	return ok &&
+		isInt(sig.Params().At(0).Type()) &&
+		namedFrom(sig.Params().At(1).Type(), geomPkg, "Rect") &&
+		namedFrom(ptr.Elem(), tracePkg, "Span") &&
+		isBool(sig.Results().At(0).Type())
+}
+
+func isInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// magicDef is one discovered persistence tag.
+type magicDef struct {
+	pkg   string
+	name  string
+	value string
+	pos   ast.Node
+}
+
+// checkMagicUniqueness enforces invariant 2: it collects every
+// package-level value whose name contains "magic" and whose bytes are
+// statically known, and reports duplicates.
+func checkMagicUniqueness(pass *ModulePass) {
+	var defs []magicDef
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						if !strings.Contains(strings.ToLower(id.Name), "magic") || i >= len(vs.Values) {
+							continue
+						}
+						if v, ok := magicValue(pkg.Info, vs.Values[i]); ok {
+							defs = append(defs, magicDef{pkg.Path, id.Name, v, id})
+						}
+					}
+				}
+			}
+		}
+	}
+	seen := map[string]magicDef{}
+	for _, d := range defs {
+		if prev, dup := seen[d.value]; dup {
+			pass.Reportf(d.pos.Pos(),
+				"persistence magic %s = %q duplicates %s.%s; section tags must be unique across engines",
+				d.name, d.value, prev.pkg, prev.name)
+			continue
+		}
+		seen[d.value] = d
+	}
+}
+
+// magicValue extracts the statically-known bytes of a magic definition:
+// a constant string, or a byte-array composite literal of constant
+// elements.
+func magicValue(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	cl, ok := ast.Unparen(expr).(*ast.CompositeLit)
+	if !ok {
+		return "", false
+	}
+	var b []byte
+	for _, elt := range cl.Elts {
+		etv, ok := info.Types[elt]
+		if !ok || etv.Value == nil {
+			return "", false
+		}
+		v, ok := constant.Int64Val(etv.Value)
+		if !ok {
+			return "", false
+		}
+		b = append(b, byte(v))
+	}
+	if len(b) == 0 {
+		return "", false
+	}
+	return string(b), true
+}

@@ -1,0 +1,47 @@
+// Fixture for the atomicalign analyzer: 64-bit atomic operands must be
+// 64-bit-aligned under 32-bit layout rules.
+package atomicalign
+
+import "sync/atomic"
+
+type misaligned struct {
+	flag uint32
+	n    uint64 // offset 4 under 32-bit layout
+}
+
+type aligned struct {
+	n    uint64 // offset 0 everywhere
+	flag uint32
+}
+
+type padded struct {
+	a, b uint32
+	n    int64 // offset 8: two uint32s pad it out
+}
+
+func bump(m *misaligned, a *aligned, p *padded) {
+	atomic.AddUint64(&m.n, 1) // want "not 64-bit-aligned"
+	atomic.AddUint64(&a.n, 1)
+	atomic.AddInt64(&p.n, 1)
+}
+
+func load(m *misaligned) uint64 {
+	return atomic.LoadUint64(&m.n) // want "not 64-bit-aligned"
+}
+
+type modern struct {
+	flag uint32
+	n    atomic.Uint64 // self-aligning: never flagged
+}
+
+func bumpModern(m *modern) {
+	m.n.Add(1)
+}
+
+func local() int64 {
+	// Local variables are not struct fields; the analyzer only tracks
+	// field selectors.
+	var n int64
+	atomic.AddInt64(&n, 1)
+	return n
+}

@@ -1,0 +1,61 @@
+// Fixture for the deferunlock analyzer: Lock() in functions with
+// multiple returns must pair with defer Unlock().
+package deferunlock
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func leaky(c *counter, bail bool) int {
+	c.mu.Lock() // want "has no defer c.mu.Unlock"
+	if bail {
+		return 0 // leaks the lock
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func safe(c *counter, bail bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bail {
+		return 0
+	}
+	return c.n
+}
+
+func straightLine(c *counter) int {
+	// A single return with a hand-rolled pair is the metrics-hot-path
+	// idiom and stays allowed.
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+type rwCounter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func leakyRead(c *rwCounter, bail bool) int {
+	c.mu.RLock() // want "has no defer c.mu.RUnlock"
+	if bail {
+		return 0
+	}
+	n := c.n
+	c.mu.RUnlock()
+	return n
+}
+
+func closureScope(c *counter) func() int {
+	// The FuncLit is its own scope: its single return does not count
+	// against the enclosing function's lock.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int { return 1 }
+}

@@ -1,0 +1,17 @@
+// Fixture for the //lint:ignore directive machinery, checked under a
+// hot-path import path. One clock read is properly suppressed, one is
+// covered only by a malformed directive (missing the mandatory reason)
+// and must survive, and the malformed directive itself is reported.
+package directive
+
+import "time"
+
+func suppressed() time.Time {
+	//lint:ignore hotclock fixture exercises a well-formed directive
+	return time.Now()
+}
+
+func unsuppressed() time.Time {
+	//lint:ignore hotclock
+	return time.Now()
+}

@@ -1,0 +1,47 @@
+// Fixture for the errcheck analyzer: no silently discarded error
+// returns, with the documented allowlist.
+package errcheck
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error             { return nil }
+func fallibleMulti() (int, error) { return 0, nil }
+func infallible() int             { return 0 }
+
+func discards() {
+	fallible()      // want "error result of fallible is silently discarded"
+	fallibleMulti() // want "error result of fallibleMulti is silently discarded"
+
+	f, _ := os.Open("x")
+	f.Close() // want "error result of f.Close is silently discarded"
+}
+
+func explicit() {
+	_ = fallible()
+	_, _ = fallibleMulti()
+	_ = infallible()
+
+	f, _ := os.Open("x")
+	defer f.Close() // defer discards by language rule; allowed
+}
+
+func allowlisted(w *bufio.Writer) {
+	fmt.Println("hi")
+	fmt.Fprintf(os.Stderr, "hi\n")
+
+	var sb strings.Builder
+	sb.WriteString("x")
+	fmt.Fprintf(&sb, "y")
+
+	var buf bytes.Buffer
+	buf.WriteByte('z')
+
+	w.WriteString("w") // sticky error; surfaced by Flush
+	w.Flush()          // want "error result of w.Flush is silently discarded"
+}

@@ -1,0 +1,27 @@
+// Fixture for the hotclock analyzer. The test checks this package under
+// a hot-path import path (repro/internal/core/...), where raw clock
+// reads are forbidden unless suppressed with a justified directive.
+package hotclock
+
+import "time"
+
+func query() time.Duration {
+	start := time.Now() // want "time.Now"
+	work()
+	return time.Since(start) // want "time.Since"
+}
+
+func work() {}
+
+func buildTimed() time.Duration {
+	//lint:ignore hotclock build timing is not the query path
+	start := time.Now()
+	work()
+	//lint:ignore hotclock build timing is not the query path
+	return time.Since(start)
+}
+
+func sleepy() {
+	// Only Now and Since are clock reads the analyzer polices.
+	time.Sleep(0)
+}

@@ -1,0 +1,11 @@
+// Fixture for the hotclock analyzer, checked under a non-hot import
+// path: the same clock reads that are findings in hot packages are fine
+// in serving, bench and tooling code.
+package hotclockcold
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,39 @@
+// Fixture for the lockcopy analyzer: sync locks must never be copied
+// by value.
+package lockcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want "parameter of type guarded copies a lock"
+	return g.n
+}
+
+func byPointer(g *guarded) int {
+	return g.n
+}
+
+func (g guarded) valueRecv() int { // want "receiver of type guarded copies a lock"
+	return g.n
+}
+
+func (g *guarded) ptrRecv() int {
+	return g.n
+}
+
+func snapshot(p *guarded) {
+	g := *p // want "contains a lock"
+	_ = g
+}
+
+func returnsLock() guarded { // want "result of type guarded copies a lock"
+	return guarded{}
+}
+
+func plainMutexParam(mu sync.Mutex) { // want "parameter of type sync.Mutex copies a lock"
+	_ = mu
+}

@@ -1,0 +1,20 @@
+// Fixture for the mathrand analyzer: library packages must thread an
+// explicit, seedable *rand.Rand instead of the global source.
+package mathrand
+
+import "math/rand"
+
+func global() int {
+	return rand.Intn(10) // want "global math/rand"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global math/rand"
+}
+
+func seeded() int {
+	// Constructors and methods on an explicit generator are the
+	// sanctioned pattern.
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}

@@ -1,0 +1,9 @@
+// Fixture for the mathrand analyzer: package main is exempt — CLI
+// tools may seed the global source for convenience.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(10)
+}

@@ -1,0 +1,30 @@
+// Fixture for the parityguard analyzer: every RangeReach implementer
+// also implements RangeReachTraced, and persistence magics are unique.
+package parityguard
+
+import (
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+type untraced struct{} // want "untraced implements RangeReach but not RangeReachTraced"
+
+func (untraced) RangeReach(v int, r geom.Rect) bool { return false }
+
+type traced struct{}
+
+func (traced) RangeReach(v int, r geom.Rect) bool { return false }
+func (traced) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
+	return false
+}
+
+type unrelated struct{}
+
+// A different shape is not an engine; no parity demanded.
+func (unrelated) RangeReach(v int, depth int) bool { return false }
+
+var fooMagic = [4]byte{'R', 'R', 'F', 'O'}
+var barMagic = [4]byte{'R', 'R', 'B', 'A'}
+var dupMagic = [4]byte{'R', 'R', 'F', 'O'} // want "duplicates"
+
+const strMagic = "RRST"

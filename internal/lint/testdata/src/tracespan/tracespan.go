@@ -1,0 +1,27 @@
+// Fixture for the tracespan analyzer: *trace.Span may be nil by
+// contract, so pointer field dereferences are forbidden; the nil-safe
+// methods and by-value access are fine.
+package tracespan
+
+import "repro/internal/trace"
+
+func bad(sp *trace.Span) int64 {
+	return sp.Labels // want "field Labels dereferenced"
+}
+
+func badWrite(sp *trace.Span) {
+	sp.Candidates++ // want "field Candidates dereferenced"
+}
+
+func goodMethods(sp *trace.Span) {
+	sp.AddLabels(3)
+	sp.IncNode()
+	if sp.Enabled() {
+		sp.IncLeaf()
+	}
+}
+
+func goodValue(sp trace.Span) int64 {
+	// A completed span passed by value cannot be nil.
+	return sp.Labels + sp.Candidates
+}

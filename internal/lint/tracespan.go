@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// tracePkg is the import path of the trace package whose Span type the
+// tracespan analyzer protects.
+const tracePkg = "repro/internal/trace"
+
+// TraceSpan reports field access through a *trace.Span outside the
+// trace package itself. The whole tracing design rests on *Span being
+// nil-safe: engines thread a possibly-nil span through every hot path
+// and rely on its methods' nil receivers to make the disabled path
+// free. A direct field dereference (sp.Labels, sp.Plan, ...) bypasses
+// that contract and panics the moment tracing is off. Code that needs
+// the raw counters must take the span by value (a completed span is
+// plain data) or go through the nil-safe accessors.
+var TraceSpan = &Analyzer{
+	Name: "tracespan",
+	Doc:  "*trace.Span may only be used through its nil-safe methods",
+	Run:  runTraceSpan,
+}
+
+func runTraceSpan(pass *Pass) {
+	if pass.Pkg.Path == tracePkg {
+		return
+	}
+	pass.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Pkg.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		recv := selection.Recv()
+		ptr, ok := types.Unalias(recv).(*types.Pointer)
+		if !ok || !namedFrom(ptr.Elem(), tracePkg, "Span") {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s dereferenced through *trace.Span, which may be nil; use the nil-safe methods or pass the completed span by value",
+			selection.Obj().Name())
+		return true
+	})
+}

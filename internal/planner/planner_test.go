@@ -54,7 +54,7 @@ func TestRegionBoundsBracketExact(t *testing.T) {
 	}
 
 	regions := []geom.Rect{
-		space,                // whole space: lo == hi == |P|
+		space, // whole space: lo == hi == |P|
 		geom.NewRect(space.Max.X+1, space.Max.Y+1, space.Max.X+2, space.Max.Y+2), // disjoint
 	}
 	for i := 0; i < 300; i++ {

@@ -1,0 +1,110 @@
+package rtree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func gridEntries(n int) []Entry[geom.Rect] {
+	entries := make([]Entry[geom.Rect], n)
+	for i := range entries {
+		x := float64(i%10) * 10
+		y := float64(i/10) * 10
+		entries[i] = Entry[geom.Rect]{Box: geom.NewRect(x, y, x+5, y+5), ID: int32(i)}
+	}
+	return entries
+}
+
+func wantValidateErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("want error containing %q, got: %v", substr, err)
+	}
+}
+
+func TestValidateBulkLoaded(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 17, 100, 1000} {
+		tr := BulkLoad(gridEntries(n), 0)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestValidateAfterInserts(t *testing.T) {
+	tr := New[geom.Rect](4)
+	for _, e := range gridEntries(200) {
+		tr.Insert(e)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateMBRExcludesEntry(t *testing.T) {
+	tr := BulkLoad(gridEntries(100), 4)
+	// Shrink the MBR of the first leaf to a point that cannot contain
+	// its entries.
+	n := tr.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	n.bounds = geom.NewRect(-1000, -1000, -999, -999)
+	wantValidateErr(t, tr.Validate(), "does not contain")
+}
+
+func TestValidateMBRExcludesChild(t *testing.T) {
+	tr := BulkLoad(gridEntries(1000), 4)
+	if tr.root.leaf {
+		t.Fatal("tree too shallow for the test")
+	}
+	tr.root.bounds = geom.NewRect(0, 0, 1, 1)
+	wantValidateErr(t, tr.Validate(), "child")
+}
+
+func TestValidateSizeMismatch(t *testing.T) {
+	tr := BulkLoad(gridEntries(50), 4)
+	tr.size++
+	wantValidateErr(t, tr.Validate(), "size")
+}
+
+func TestValidateUnbalanced(t *testing.T) {
+	leaf := func(es ...Entry[geom.Rect]) *node[geom.Rect] {
+		n := &node[geom.Rect]{leaf: true, entries: es}
+		n.recomputeBounds()
+		return n
+	}
+	a := leaf(Entry[geom.Rect]{Box: geom.NewRect(0, 0, 1, 1), ID: 1})
+	b := leaf(Entry[geom.Rect]{Box: geom.NewRect(2, 2, 3, 3), ID: 2})
+	mid := &node[geom.Rect]{children: []*node[geom.Rect]{b}}
+	mid.recomputeBounds()
+	root := &node[geom.Rect]{children: []*node[geom.Rect]{a, mid}}
+	root.recomputeBounds()
+	tr := &Tree[geom.Rect]{root: root, size: 2, maxEntries: 16, minEntries: 6}
+	wantValidateErr(t, tr.Validate(), "not balanced")
+}
+
+func TestValidateMixedNode(t *testing.T) {
+	tr := BulkLoad(gridEntries(100), 4)
+	n := tr.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	// A leaf with children is structurally impossible; simulate it.
+	n.children = []*node[geom.Rect]{{leaf: true}}
+	wantValidateErr(t, tr.Validate(), "leaf node")
+}
+
+func TestValidateEmptyTree(t *testing.T) {
+	if err := New[geom.Rect](0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := New[geom.Rect](0)
+	tr.size = 3
+	wantValidateErr(t, tr.Validate(), "nil root")
+}

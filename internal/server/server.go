@@ -342,7 +342,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	// A write error here means the client went away; the status line is
+	// already committed, so there is nothing left to report.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -643,5 +645,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.WritePrometheus(w)
+	// A scrape aborted mid-write is the scraper's problem; the next one
+	// gets a fresh snapshot.
+	_ = s.reg.WritePrometheus(w)
 }

@@ -37,26 +37,26 @@ func (idx *Index) SaveFile(path string) error {
 	}
 	tmp := f.Name()
 	if err := idx.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return fmt.Errorf("rangereach: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("rangereach: %w", err)
 	}
 	// CreateTemp opens 0600; restore the 0644 a plain Create would give.
 	if err := os.Chmod(tmp, 0o644); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("rangereach: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("rangereach: %w", err)
 	}
 	if dir == "" {
@@ -85,12 +85,19 @@ func (n *Network) LoadIndex(r io.Reader, options ...Option) (*Index, error) {
 		return nil, err
 	}
 	m := methodFromCore(res.Method)
-	return &Index{
+	idx := &Index{
 		net:    n,
 		method: m,
 		engine: res.Engine,
 		stats:  IndexStats{Method: m, Bytes: res.Bytes},
-	}, nil
+	}
+	// A decodable file can still describe an inconsistent structure
+	// (bit rot past the length checks); deep-validate before handing it
+	// out so corruption surfaces at load, not as wrong answers.
+	if err := idx.Validate(); err != nil {
+		return nil, fmt.Errorf("rangereach: loaded index failed validation: %w", err)
+	}
+	return idx, nil
 }
 
 // LoadIndexFile reads an index from the named file.

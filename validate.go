@@ -1,0 +1,44 @@
+package rangereach
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Validate deep-checks the index's structural invariants: the interval
+// labeling's post-order bijection onto 1..n, well-formed (lo ≤ hi,
+// sorted, disjoint) and properly nested label sets, acyclicity of the
+// SCC condensation, and the spatial index's R-tree MBR containment or
+// k-d ordering. It returns nil for a well-formed index and a
+// descriptive error naming the first violated invariant otherwise.
+//
+// Validation runs in time linear in the index size. LoadIndex runs it
+// automatically; tests and rrserve's -check flag call it directly.
+func (idx *Index) Validate() error {
+	if err := core.ValidateEngine(idx.engine); err != nil {
+		return fmt.Errorf("rangereach: %w", err)
+	}
+	return nil
+}
+
+// Validate deep-checks the dynamic index's structural invariants: the
+// incremental labeling (dense post numbers, label nesting, acyclicity
+// of the absorbed graph), the base R-tree, and the base/overlay
+// bookkeeping. Call it from the writer, like any other access.
+func (idx *DynamicIndex) Validate() error {
+	if err := idx.engine.Validate(); err != nil {
+		return fmt.Errorf("rangereach: %w", err)
+	}
+	return nil
+}
+
+// Validate deep-checks the snapshot's captured state: the labeling
+// view, the shared base tree and the overlay bookkeeping. Snapshots
+// are immutable, so it may run concurrently with anything.
+func (s *DynamicSnapshot) Validate() error {
+	if err := s.snap.Validate(); err != nil {
+		return fmt.Errorf("rangereach: %w", err)
+	}
+	return nil
+}
