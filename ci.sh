@@ -5,10 +5,15 @@
 #                  cmd/rrserve) + full test suite + fuzz seed corpora
 #                  + race-exercised concurrency tests
 #                  + trace-overhead benchmark under -race
-#                  + rrbench -json smoke run
-#   ./ci.sh -short skips the race passes
+#                  + coverage floor + rrbench smoke + bench regression
+#   ./ci.sh -short skips the race passes, coverage and the bench gate
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Minimum total statement coverage (percent). The suite sits at ~82%;
+# the floor leaves headroom for legitimate churn while catching a PR
+# that lands a subsystem without tests.
+COVERAGE_FLOOR=75
 
 echo "== go vet =="
 go vet ./...
@@ -31,28 +36,54 @@ go test -run 'Fuzz' .
 
 if [[ "${1:-}" != "-short" ]]; then
     # The concurrency-sensitive packages: the root package (batch
-    # work-stealing, dynamic snapshots), the serving subsystem
-    # (snapshot swaps, result cache, metrics) and the adaptive planner
-    # (lock-free coefficient EMA, pin state, concurrent Auto routing —
-    # including the parity suite in ./internal/core).
+    # work-stealing, dynamic snapshots, parallel-vs-sequential build
+    # determinism), the worker pool the parallel build pipeline fans
+    # out on, the serving subsystem (snapshot swaps, result cache,
+    # metrics) and the adaptive planner (lock-free coefficient EMA,
+    # pin state, concurrent Auto routing — including the parity suite
+    # in ./internal/core).
     echo "== go test -race (concurrency surfaces) =="
-    go test -race . ./internal/server ./internal/metrics ./internal/core ./internal/planner
+    go test -race . ./internal/pool ./internal/server ./internal/metrics ./internal/core ./internal/planner
 
     # The trace hook sits on every query's hot path; run the overhead
     # benchmark under the race detector so the instrumentation itself is
     # exercised for data races (the timings are not meaningful here).
     echo "== trace-overhead benchmark under -race =="
     go test -race -run '^$' -bench BenchmarkTraceOverhead -benchtime 50x .
+
+    echo "== coverage (floor ${COVERAGE_FLOOR}%) =="
+    go test -coverprofile=/tmp/rr-cover.out ./... > /tmp/rr-cover.txt
+    grep -E 'coverage: [0-9.]+% of statements' /tmp/rr-cover.txt || true
+    total=$(go tool cover -func=/tmp/rr-cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    echo "total coverage: ${total}%"
+    awk -v t="$total" -v floor="$COVERAGE_FLOOR" 'BEGIN { exit !(t >= floor) }' \
+        || { echo "coverage ${total}% is below the ${COVERAGE_FLOOR}% floor" >&2; exit 1; }
 fi
 
 echo "== rrbench -json smoke =="
 go run ./cmd/rrbench -exp table3 -scale 0.05 -queries 20 \
     -datasets weeplaces-like -json /tmp/rrbench-smoke.json >/dev/null
-python3 -c "import json; json.load(open('/tmp/rrbench-smoke.json'))" 2>/dev/null \
-    || grep -q '"schema": "rrbench/v2"' /tmp/rrbench-smoke.json
+# Schema and JSON validity via the rrbench checker itself — a report
+# always matches itself, while a truncated or mis-schema'd file fails
+# hard. No python dependency: the old `python3 -c … || grep` fallback
+# silently passed valid-prefix garbage wherever python3 was missing.
+go run ./cmd/rrbench -compare /tmp/rrbench-smoke.json /tmp/rrbench-smoke.json >/dev/null
+grep -q '"schema": "rrbench/v3"' /tmp/rrbench-smoke.json
 # The adaptive composite must appear both as a method row and in the
 # region sweep (the planner's acceptance surface).
 grep -q '"method": "Auto"' /tmp/rrbench-smoke.json
 grep -q '"region_sweep"' /tmp/rrbench-smoke.json
+
+if [[ "${1:-}" != "-short" ]]; then
+    # Two smoke runs, best-of per (dataset, method) p50, against the
+    # committed PR 3 baseline. The 3x factor plus the absolute noise
+    # floor means only order-of-magnitude regressions fail the gate —
+    # shared CI runners jitter far too much for tighter thresholds.
+    echo "== bench regression =="
+    go run ./cmd/rrbench -exp table3 -scale 0.05 -queries 20 \
+        -datasets weeplaces-like -json /tmp/rrbench-smoke2.json >/dev/null
+    go run ./cmd/rrbench -compare BENCH_PR3.json \
+        /tmp/rrbench-smoke.json /tmp/rrbench-smoke2.json
+fi
 
 echo "CI OK"

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// compareReport is the subset of the rrbench -json schema the regression
+// gate reads. It parses every schema since rrbench/v1 — the fields here
+// have only ever been added to.
+type compareReport struct {
+	Schema   string `json:"schema"`
+	Datasets []struct {
+		Name    string `json:"name"`
+		Methods []struct {
+			Method    string  `json:"method"`
+			P50Micros float64 `json:"p50_us"`
+		} `json:"methods"`
+	} `json:"datasets"`
+}
+
+func loadCompareReport(path string) (compareReport, error) {
+	var r compareReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, "rrbench/v") {
+		return r, fmt.Errorf("%s: unrecognized schema %q", path, r.Schema)
+	}
+	return r, nil
+}
+
+// p50Table flattens a report to (dataset, method) → p50 µs.
+func p50Table(r compareReport) map[string]float64 {
+	t := make(map[string]float64)
+	for _, ds := range r.Datasets {
+		for _, m := range ds.Methods {
+			t[ds.Name+"/"+m.Method] = m.P50Micros
+		}
+	}
+	return t
+}
+
+// runCompare is the bench-regression gate: it compares per-method p50
+// latencies of one or more candidate runs against a committed baseline
+// and fails (exit 1) only on order-of-magnitude regressions — a
+// candidate must exceed factor× the baseline AND the absolute noise
+// floor to count. Taking the min across candidate runs (CI runs the
+// smoke config twice, interleaved) filters one-off scheduler spikes;
+// the floor filters jitter on sub-floor latencies, which dominate
+// small smoke configs. Methods present only on one side are skipped:
+// the gate must survive methods being added or retired.
+func runCompare(baselinePath string, candidatePaths []string, factor, floorUs float64) int {
+	if len(candidatePaths) == 0 {
+		fmt.Fprintln(os.Stderr, "rrbench: -compare needs candidate report paths as arguments")
+		return 2
+	}
+	base, err := loadCompareReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrbench: baseline: %v\n", err)
+		return 2
+	}
+	baseP50 := p50Table(base)
+
+	// Best (minimum) p50 per key across all candidate runs.
+	candP50 := make(map[string]float64)
+	for _, path := range candidatePaths {
+		cand, err := loadCompareReport(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrbench: candidate: %v\n", err)
+			return 2
+		}
+		for key, p50 := range p50Table(cand) {
+			if prev, ok := candP50[key]; !ok || p50 < prev {
+				candP50[key] = p50
+			}
+		}
+	}
+
+	compared, regressed := 0, 0
+	for key, cand := range candP50 {
+		baseV, ok := baseP50[key]
+		if !ok {
+			continue
+		}
+		compared++
+		if cand > baseV*factor && cand > baseV+floorUs {
+			regressed++
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: p50 %.2fµs vs baseline %.2fµs (>%.1fx, floor %.0fµs)\n",
+				key, cand, baseV, factor, floorUs)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "rrbench: -compare matched no (dataset, method) rows — wrong baseline?")
+		return 2
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "rrbench: %d/%d rows regressed beyond %.1fx\n", regressed, compared, factor)
+		return 1
+	}
+	fmt.Printf("rrbench: no regressions in %d rows (threshold %.1fx, floor %.0fµs)\n", compared, factor, floorUs)
+	return 0
+}

@@ -5,12 +5,19 @@
 // Usage:
 //
 //	rrbench [-exp all|table3|table4|table5|table6|fig5|fig6|fig7|ablation-forest|ablation-compression|ablation-socreach|ablation-spareach|ablation-3d|ablation-streaming|latency|negative]
-//	        [-scale 1.0] [-queries 200] [-seed 1] [-datasets foursquare-like,gowalla-like,...]
+//	        [-scale 1.0] [-queries 200] [-seed 1] [-j N] [-datasets foursquare-like,gowalla-like,...]
 //	        [-csv figures.csv] [-json bench.json]
+//	rrbench -compare baseline.json candidate.json [candidate2.json ...]
 //
 // -json writes a machine-readable performance report (per dataset and
-// method: build time, index size, latency percentiles) regardless of
-// -exp; use it to track regressions across commits.
+// method: build time, per-phase build breakdown, index size, latency
+// percentiles) regardless of -exp; use it to track regressions across
+// commits.
+//
+// -compare switches to the regression-gate mode ci.sh uses: candidate
+// reports are checked against the baseline per (dataset, method) — best
+// p50 across the candidates — and the exit status is 1 only when a row
+// regresses beyond -compare-factor AND the -compare-floor noise floor.
 //
 // Absolute latencies depend on the host; the paper's findings are about
 // ordering and trend shapes, which EXPERIMENTS.md records.
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/bench"
@@ -34,14 +42,24 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated preset subset (default: all four)")
 		csvPath  = flag.String("csv", "", "also write figure series to this CSV file (tidy long format)")
 		jsonPath = flag.String("json", "", "write a machine-readable perf report (build/size/latency per method) to this file")
+		par      = flag.Int("j", runtime.NumCPU(), "worker bound per index build (1 = sequential; builds are deterministic at any setting)")
+
+		compare       = flag.String("compare", "", "baseline perf report: compare the candidate report arguments against it and exit nonzero on p50 regressions")
+		compareFactor = flag.Float64("compare-factor", 3.0, "with -compare, the p50 ratio a row must exceed to fail")
+		compareFloor  = flag.Float64("compare-floor", 25, "with -compare, the absolute p50 increase in µs a row must also exceed to fail")
 	)
 	flag.Parse()
 
+	if *compare != "" {
+		os.Exit(runCompare(*compare, flag.Args(), *compareFactor, *compareFloor))
+	}
+
 	cfg := bench.Config{
-		Scale:   *scale,
-		Seed:    *seed,
-		Queries: *queries,
-		Out:     os.Stdout,
+		Scale:       *scale,
+		Seed:        *seed,
+		Queries:     *queries,
+		Parallelism: *par,
+		Out:         os.Stdout,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")

@@ -6,6 +6,12 @@
 //
 //	rrgen -preset foursquare-like -scale 1.0 -seed 1 -o foursquare.gsn
 //	rrgen -users 10000 -venues 5000 -friends 7 -checkins 3 -giant-scc -o custom.gsn
+//	rrgen -preset gowalla-like -o gowalla.gsn -index 3dreach -j 4
+//
+// -index additionally builds and persists a ready-to-serve index over
+// the generated network (rrserve -load-index skips the build on
+// startup); -j bounds the build workers — the emitted index bytes are
+// identical at any setting.
 package main
 
 import (
@@ -13,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	rangereach "repro"
 	"repro/internal/dataset"
 	"repro/internal/workload"
 )
@@ -35,6 +43,9 @@ func main() {
 		emitQ    = flag.Int("emit-queries", 0, "also generate this many workload queries (rrquery -batch format)")
 		extent   = flag.Float64("extent", 5, "query-region extent in percent of the space (with -emit-queries)")
 		queriesO = flag.String("queries-o", "", "output file for generated queries (default: stderr-adjacent <o>.queries)")
+		indexM   = flag.String("index", "", "also build and persist an index of this method (3dreach, 3dreach-rev, socreach, spareach-bfl, spareach-int, georeach, auto)")
+		indexO   = flag.String("index-o", "", "output file for the persisted index (default: <o>.idx; requires -o)")
+		buildJ   = flag.Int("j", 0, "worker bound for the -index build (0 = all CPUs, 1 = sequential; output is identical at any setting)")
 	)
 	flag.Parse()
 
@@ -88,6 +99,10 @@ func main() {
 	}
 
 	if *out == "" {
+		if *indexM != "" {
+			fmt.Fprintln(os.Stderr, "rrgen: -index requires -o")
+			os.Exit(2)
+		}
 		if err := dataset.Save(os.Stdout, net); err != nil {
 			fmt.Fprintf(os.Stderr, "rrgen: %v\n", err)
 			os.Exit(1)
@@ -97,6 +112,67 @@ func main() {
 	if err := dataset.SaveFile(*out, net); err != nil {
 		fmt.Fprintf(os.Stderr, "rrgen: %v\n", err)
 		os.Exit(1)
+	}
+	if *indexM != "" {
+		if err := emitIndex(*out, *indexM, *indexO, *buildJ); err != nil {
+			fmt.Fprintf(os.Stderr, "rrgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// emitIndex builds the requested index over the just-written network
+// file and persists it next to it. Going through the saved file (not
+// the in-memory network) guarantees the index pairs with exactly the
+// bytes rrserve will load.
+func emitIndex(netPath, methodName, indexPath string, parallelism int) error {
+	m, ok := indexMethodByName(methodName)
+	if !ok {
+		return fmt.Errorf("unknown -index method %q", methodName)
+	}
+	if indexPath == "" {
+		indexPath = netPath + ".idx"
+	}
+	net, err := rangereach.LoadNetwork(netPath)
+	if err != nil {
+		return err
+	}
+	var opts []rangereach.Option
+	if parallelism > 0 {
+		opts = append(opts, rangereach.WithParallelism(parallelism))
+	}
+	idx, err := net.Build(m, opts...)
+	if err != nil {
+		return err
+	}
+	if err := idx.SaveFile(indexPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rrgen: %s index written to %s (build %s)\n",
+		m, indexPath, idx.Stats().BuildTime)
+	return nil
+}
+
+// indexMethodByName maps the persistable method names (the ones
+// Index.SaveFile supports) to their Method values.
+func indexMethodByName(name string) (rangereach.Method, bool) {
+	switch strings.ToLower(name) {
+	case "3dreach":
+		return rangereach.ThreeDReach, true
+	case "3dreach-rev":
+		return rangereach.ThreeDReachRev, true
+	case "socreach":
+		return rangereach.SocReach, true
+	case "spareach-bfl":
+		return rangereach.SpaReachBFL, true
+	case "spareach-int":
+		return rangereach.SpaReachINT, true
+	case "georeach":
+		return rangereach.GeoReach, true
+	case "auto":
+		return rangereach.MethodAuto, true
+	default:
+		return 0, false
 	}
 }
 

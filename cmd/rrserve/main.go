@@ -66,6 +66,7 @@ func main() {
 		cacheN    = flag.Int("cache", 4096, "result cache entries (negative disables)")
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request budget")
 		par       = flag.Int("parallelism", 0, "static batch fan-out (0 = GOMAXPROCS)")
+		buildJ    = flag.Int("j", 0, "worker bound for the index build (0 = all CPUs, 1 = sequential; the built index is identical at any setting)")
 		logMode   = flag.String("log", "text", "request log format: text, json, off")
 		slowQ     = flag.Duration("slow-query", 250*time.Millisecond, "elevate slower requests to warnings (0 disables)")
 		traceN    = flag.Int("trace-sample", 0, "trace every Nth query into the rr_stage_seconds histograms (0 disables)")
@@ -95,10 +96,14 @@ func main() {
 		TraceSample:  *traceN,
 	}
 	mode := "static"
+	var buildOpts []rangereach.Option
+	if *buildJ > 0 {
+		buildOpts = append(buildOpts, rangereach.WithParallelism(*buildJ))
+	}
 	switch {
 	case *dynamic:
 		mode = "dynamic"
-		cfg.Dynamic = net.BuildDynamic()
+		cfg.Dynamic = net.BuildDynamic(buildOpts...)
 	case *loadIdx != "":
 		cfg.Index, err = net.LoadIndexFile(*loadIdx)
 	default:
@@ -107,7 +112,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rrserve: unknown method %q\n", *method)
 			os.Exit(2)
 		}
-		cfg.Index, err = net.Build(m)
+		cfg.Index, err = net.Build(m, buildOpts...)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)

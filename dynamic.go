@@ -1,6 +1,8 @@
 package rangereach
 
 import (
+	"runtime"
+
 	"repro/internal/core"
 )
 
@@ -24,9 +26,20 @@ type DynamicIndex struct {
 }
 
 // BuildDynamic constructs an updatable 3DReach index over the network's
-// current state.
-func (n *Network) BuildDynamic() *DynamicIndex {
-	return &DynamicIndex{engine: core.NewDynamicThreeDReach(n.prep, core.ThreeDOptions{})}
+// current state. Options that apply to the dynamic engine —
+// WithParallelism, WithRTreeFanout — take effect; the rest are ignored.
+func (n *Network) BuildDynamic(options ...Option) *DynamicIndex {
+	var cfg buildConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	if cfg.opts.Parallelism == 0 {
+		cfg.opts.Parallelism = runtime.NumCPU()
+	}
+	if cfg.opts.ThreeD.Parallelism == 0 {
+		cfg.opts.ThreeD.Parallelism = cfg.opts.Parallelism
+	}
+	return &DynamicIndex{engine: core.NewDynamicThreeDReach(n.prep, cfg.opts.ThreeD)}
 }
 
 // NumVertices returns the current number of vertices, including ones

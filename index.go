@@ -2,6 +2,7 @@ package rangereach
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -22,6 +23,22 @@ type buildConfig struct {
 // Build returns an error otherwise.
 func WithMBRPolicy() Option {
 	return func(c *buildConfig) { c.opts.Policy = dataset.MBR }
+}
+
+// WithParallelism bounds the number of workers the build pipeline may
+// use: independent phases (labeling vs. spatial bulk load, Auto
+// members) run concurrently and the index structures parallelize
+// internally. The default is runtime.NumCPU(); 1 forces the exact
+// sequential code path. Parallel construction is deterministic — the
+// built index, and its SaveFile bytes, are identical at any setting
+// (see DESIGN.md §12).
+func WithParallelism(n int) Option {
+	return func(c *buildConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.opts.Parallelism = n
+	}
 }
 
 // WithRTreeFanout sets the fan-out of the spatial R-trees (default 16).
@@ -117,6 +134,17 @@ type Index struct {
 	stats  IndexStats
 }
 
+// BuildPhase attributes part of an index build to one named pipeline
+// phase ("labeling", "spatial", "reach", …).
+type BuildPhase struct {
+	// Name identifies the phase.
+	Name string
+	// Duration is the accumulated work time of the phase. Under
+	// parallel builds concurrent phases accumulate independently, so
+	// the sum over phases can exceed the wall-clock BuildTime.
+	Duration time.Duration
+}
+
 // IndexStats reports the offline costs of an index (the paper's
 // Tables 4 and 5).
 type IndexStats struct {
@@ -127,6 +155,9 @@ type IndexStats struct {
 	// Bytes is the approximate in-memory footprint of the index
 	// structures (the shared network itself is not counted).
 	Bytes int64
+	// Phases attributes the build to named pipeline phases, sorted by
+	// name. Empty for Naive (no index is built).
+	Phases []BuildPhase
 }
 
 // Build constructs a RangeReach index over the network.
@@ -134,6 +165,9 @@ func (n *Network) Build(m Method, options ...Option) (*Index, error) {
 	var cfg buildConfig
 	for _, o := range options {
 		o(&cfg)
+	}
+	if cfg.opts.Parallelism == 0 {
+		cfg.opts.Parallelism = runtime.NumCPU()
 	}
 	if m == Naive {
 		return &Index{
@@ -151,6 +185,10 @@ func (n *Network) Build(m Method, options ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	phases := make([]BuildPhase, len(res.Phases))
+	for i, ph := range res.Phases {
+		phases[i] = BuildPhase{Name: ph.Name, Duration: ph.Duration}
+	}
 	return &Index{
 		net:    n,
 		method: m,
@@ -159,6 +197,7 @@ func (n *Network) Build(m Method, options ...Option) (*Index, error) {
 			Method:    m,
 			BuildTime: res.BuildTime,
 			Bytes:     res.Bytes,
+			Phases:    phases,
 		},
 	}, nil
 }

@@ -16,17 +16,20 @@ import (
 // workload. The schema field versions the layout so downstream tooling
 // can detect changes.
 type PerfReport struct {
-	Schema  string  `json:"schema"`
-	Scale   float64 `json:"scale"`
-	Queries int     `json:"queries"`
-	Seed    int64   `json:"seed"`
+	Schema      string  `json:"schema"`
+	Scale       float64 `json:"scale"`
+	Queries     int     `json:"queries"`
+	Seed        int64   `json:"seed"`
+	Parallelism int     `json:"parallelism,omitempty"`
 
 	Datasets []DatasetReport `json:"datasets"`
 }
 
 // PerfSchema identifies the current PerfReport layout. v2 added the
-// Auto composite to the method rows and the region_sweep section.
-const PerfSchema = "rrbench/v2"
+// Auto composite to the method rows and the region_sweep section; v3
+// added the build parallelism and the per-phase build breakdown (both
+// additive — v2 readers parse v3 reports).
+const PerfSchema = "rrbench/v3"
 
 // DatasetReport is one dataset's slice of the report.
 type DatasetReport struct {
@@ -60,15 +63,24 @@ type SweepMethodStats struct {
 // Latencies are in microseconds — the natural unit of the paper's
 // figures.
 type MethodReport struct {
-	Method      string  `json:"method"`
-	BuildMillis float64 `json:"build_ms"`
-	IndexBytes  int64   `json:"index_bytes"`
-	AvgMicros   float64 `json:"avg_us"`
-	P50Micros   float64 `json:"p50_us"`
-	P95Micros   float64 `json:"p95_us"`
-	P99Micros   float64 `json:"p99_us"`
-	MaxMicros   float64 `json:"max_us"`
-	Positives   int     `json:"positives"`
+	Method      string        `json:"method"`
+	BuildMillis float64       `json:"build_ms"`
+	BuildPhases []PhaseReport `json:"build_phases,omitempty"`
+	IndexBytes  int64         `json:"index_bytes"`
+	AvgMicros   float64       `json:"avg_us"`
+	P50Micros   float64       `json:"p50_us"`
+	P95Micros   float64       `json:"p95_us"`
+	P99Micros   float64       `json:"p99_us"`
+	MaxMicros   float64       `json:"max_us"`
+	Positives   int           `json:"positives"`
+}
+
+// PhaseReport attributes part of a build to one pipeline phase. Under
+// parallel builds phases accumulate work time independently, so their
+// sum can exceed the wall-clock build_ms.
+type PhaseReport struct {
+	Phase  string  `json:"phase"`
+	Millis float64 `json:"ms"`
 }
 
 func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -77,10 +89,11 @@ func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 // the default workload and assembles the machine-readable report.
 func (s *Suite) PerfReport() PerfReport {
 	report := PerfReport{
-		Schema:  PerfSchema,
-		Scale:   s.cfg.Scale,
-		Queries: s.cfg.Queries,
-		Seed:    s.cfg.Seed,
+		Schema:      PerfSchema,
+		Scale:       s.cfg.Scale,
+		Queries:     s.cfg.Queries,
+		Seed:        s.cfg.Seed,
+		Parallelism: s.cfg.Parallelism,
 	}
 	for ds := range s.nets {
 		st := s.nets[ds].ComputeStats()
@@ -96,9 +109,17 @@ func (s *Suite) PerfReport() PerfReport {
 		for _, m := range methods {
 			res := s.engine(ds, m, dataset.Replicate)
 			lat := measureLatencies(res.Engine, qs)
+			var phases []PhaseReport
+			for _, ph := range res.Phases {
+				phases = append(phases, PhaseReport{
+					Phase:  ph.Name,
+					Millis: float64(ph.Duration.Nanoseconds()) / 1e6,
+				})
+			}
 			dr.Methods = append(dr.Methods, MethodReport{
 				Method:      m.String(),
 				BuildMillis: float64(res.BuildTime.Nanoseconds()) / 1e6,
+				BuildPhases: phases,
 				IndexBytes:  res.Bytes,
 				AvgMicros:   micros(lat.Avg),
 				P50Micros:   micros(lat.P50),

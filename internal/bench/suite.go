@@ -27,6 +27,9 @@ type Config struct {
 	Queries int
 	// Datasets restricts the run to the named presets (nil = all four).
 	Datasets []string
+	// Parallelism bounds the workers used per index build (0 = 1, the
+	// sequential path; builds are deterministic at any setting).
+	Parallelism int
 	// Out receives the report (defaults to io.Discard if nil).
 	Out io.Writer
 }
@@ -94,7 +97,7 @@ func (s *Suite) engine(ds int, m core.Method, p dataset.SCCPolicy) core.BuildRes
 	if res, ok := s.engines[key]; ok {
 		return res
 	}
-	res, err := core.BuildMethod(s.preps[ds], m, core.BuildOptions{Policy: p})
+	res, err := core.BuildMethod(s.preps[ds], m, core.BuildOptions{Policy: p, Parallelism: s.cfg.Parallelism})
 	if err != nil {
 		panic(fmt.Sprintf("bench: building %v/%v on %s: %v", m, p, s.nets[ds].Name, err))
 	}

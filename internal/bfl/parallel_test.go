@@ -1,0 +1,32 @@
+package bfl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestParallelBuildIdentical asserts that the level-parallel filter
+// propagation produces byte-identical indexes to the sequential build
+// at any worker count.
+func TestParallelBuildIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(150)
+		g := randomDAG(rng, n, rng.Intn(5*n))
+		seq := Build(g, Options{Seed: int64(trial), Parallelism: 1})
+		for _, par := range []int{2, 8} {
+			got := Build(g, Options{Seed: int64(trial), Parallelism: par})
+			var a, b bytes.Buffer
+			if _, err := seq.WriteTo(&a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := got.WriteTo(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("trial %d par %d: serialized BFL indexes differ", trial, par)
+			}
+		}
+	}
+}

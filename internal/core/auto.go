@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/labeling"
 	"repro/internal/planner"
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -78,6 +79,34 @@ type sharedBuild struct {
 	revShares int
 }
 
+// prepare deterministically pre-computes which shared labelings the
+// member list needs — and how many members share each, so MemoryBytes
+// can deduplicate — then builds them, forward and reversed concurrently
+// when the pool allows. The forward labeling is always built: the
+// planner's estimator reads it even when no member consumes it. Moving
+// the share accounting out of the member constructors is what lets the
+// members themselves build concurrently afterwards: buildMember only
+// reads the finished labelings.
+func (s *sharedBuild) prepare(methods []Method, p *pool.Pool) {
+	for _, m := range methods {
+		switch m {
+		case MethodSocReach, MethodSpaReachINT, MethodThreeDReach:
+			s.fwdShares++
+		case MethodThreeDReachRev:
+			s.revShares++
+		}
+	}
+	t := s.opts.Span.Start()
+	defer s.opts.Span.End("labeling", t)
+	tasks := []func() error{
+		func() error { s.forward(); return nil },
+	}
+	if s.revShares > 0 {
+		tasks = append(tasks, func() error { s.reversed(); return nil })
+	}
+	_ = p.Run(tasks...)
+}
+
 // forward returns the shared forward labeling of prep.DAG, building it
 // on first use. Auto unifies the members' Forest/compression knobs on
 // the SocReach options, since one labeling must serve them all.
@@ -86,6 +115,7 @@ func (s *sharedBuild) forward() *labeling.Labeling {
 		s.fwd = labeling.Build(s.prep.DAG, labeling.Options{
 			Forest:          s.opts.SocReach.Forest,
 			SkipCompression: s.opts.SocReach.SkipCompression,
+			Parallelism:     s.opts.SocReach.Parallelism,
 		})
 	}
 	return s.fwd
@@ -95,15 +125,17 @@ func (s *sharedBuild) forward() *labeling.Labeling {
 func (s *sharedBuild) reversed() *labeling.Labeling {
 	if s.rev == nil {
 		s.rev = labeling.Build(s.prep.DAG.Reverse(), labeling.Options{
-			Forest: s.opts.ThreeD.Forest,
+			Forest:      s.opts.ThreeD.Forest,
+			Parallelism: s.opts.ThreeD.Parallelism,
 		})
 	}
 	return s.rev
 }
 
 // buildMember constructs one member engine, reusing the shared
-// labelings where the method consumes one and tracking how many members
-// share each so MemoryBytes can deduplicate.
+// labelings where the method consumes one. After prepare has run,
+// buildMember is safe to call concurrently for distinct members: it
+// only reads the shared state.
 func (s *sharedBuild) buildMember(m Method) (Engine, error) {
 	if s.opts.Policy == dataset.MBR && !m.SupportsMBR() {
 		// Per-member policy: SocReach/GeoReach have no MBR variant, so
@@ -117,22 +149,18 @@ func (s *sharedBuild) buildMember(m Method) (Engine, error) {
 func (s *sharedBuild) withPolicy(m Method, policy dataset.SCCPolicy) (Engine, error) {
 	switch m {
 	case MethodSocReach:
-		s.fwdShares++
 		return NewSocReachWithLabeling(s.prep, s.forward(), s.opts.SocReach), nil
 	case MethodSpaReachINT:
 		so := s.opts.SpaReach
 		so.Policy = policy
-		s.fwdShares++
 		return NewSpaReachINTWithLabeling(s.prep, s.forward(), so), nil
 	case MethodThreeDReach:
 		to := s.opts.ThreeD
 		to.Policy = policy
-		s.fwdShares++
 		return NewThreeDReachWithLabeling(s.prep, s.forward(), to), nil
 	case MethodThreeDReachRev:
 		to := s.opts.ThreeD
 		to.Policy = policy
-		s.revShares++
 		return NewThreeDReachRevWithLabeling(s.prep, s.reversed(), to), nil
 	case MethodAuto:
 		return nil, fmt.Errorf("core: MethodAuto cannot be its own member")
@@ -179,8 +207,14 @@ type Auto struct {
 }
 
 // BuildAuto constructs the composite. opts.Policy applies to the
-// members that support it; opts.Auto carries the planner knobs.
+// members that support it; opts.Auto carries the planner knobs. With
+// opts.Parallelism > 1 the two shared labelings build concurrently and
+// then the member engines fan out across the pool — each member only
+// reads the finished labelings, so the composite is identical to a
+// sequential build (member order is fixed by the methods slice, not by
+// completion order).
 func BuildAuto(prep *dataset.Prepared, opts BuildOptions) (*Auto, error) {
+	opts.propagate()
 	methods := opts.Auto.Members
 	if len(methods) == 0 {
 		methods = DefaultAutoMembers
@@ -196,14 +230,23 @@ func BuildAuto(prep *dataset.Prepared, opts BuildOptions) (*Auto, error) {
 		seen[m] = true
 	}
 
+	p := pool.New(max(opts.Parallelism, 1))
 	shared := &sharedBuild{prep: prep, opts: opts}
+	shared.prepare(methods, p)
 	engines := make([]Engine, len(methods))
-	for i, m := range methods {
-		e, err := shared.buildMember(m)
+	// The member constructors time their own phases ("spatial",
+	// "reach", …) into the shared span; no wrapper phase here, so the
+	// recorded durations attribute work rather than overlapping wall
+	// clock.
+	if err := p.ForEach(len(methods), func(i int) error {
+		e, err := shared.buildMember(methods[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: auto member %v: %w", m, err)
+			return fmt.Errorf("core: auto member %v: %w", methods[i], err)
 		}
 		engines[i] = e
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	a := assembleAuto(prep, opts.Policy, methods, engines, opts.Auto, shared.forward())
@@ -214,7 +257,9 @@ func BuildAuto(prep *dataset.Prepared, opts BuildOptions) (*Auto, error) {
 		n = defaultCalibrationQueries
 	}
 	if n > 0 {
+		t := opts.Span.Start()
 		a.calibrate(n, opts.Auto.Seed)
+		opts.Span.End("calibrate", t)
 	}
 	return a, nil
 }

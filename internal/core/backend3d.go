@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/pool"
 	"repro/internal/rtree"
 	"repro/internal/spatialgrid"
 	"repro/internal/trace"
@@ -53,15 +54,18 @@ type point3 struct {
 	id      int32
 }
 
-// buildPointIndex3 constructs the selected backend over the points.
-func buildPointIndex3(pts []point3, backend SpatialBackend, fanout int) pointIndex3 {
+// buildPointIndex3 constructs the selected backend over the points. A
+// non-sequential pool parallelizes the R-tree STR packing and the k-d
+// subtree builds; the grid build stays sequential (one bucketing pass).
+// The index is identical either way.
+func buildPointIndex3(pts []point3, backend SpatialBackend, fanout int, p *pool.Pool) pointIndex3 {
 	switch backend {
 	case BackendKDTree:
 		kpts := make([]kdtree.Point, len(pts))
 		for i, p := range pts {
 			kpts[i] = kdtree.Point{X: p.x, Y: p.y, Z: p.z, ID: p.id}
 		}
-		return kdtreeIndex{kdtree.Build(kpts, 3)}
+		return kdtreeIndex{kdtree.BuildPool(kpts, 3, p)}
 	case BackendGrid:
 		gpts := make([]spatialgrid.Point, len(pts))
 		for i, p := range pts {
@@ -76,7 +80,7 @@ func buildPointIndex3(pts []point3, backend SpatialBackend, fanout int) pointInd
 				ID:  p.id,
 			}
 		}
-		t := rtree.BulkLoad(entries, fanout)
+		t := rtree.BulkLoadPool(entries, fanout, p)
 		t.SetLeafBoundBytes(24)
 		return rtreeIndex{t}
 	}

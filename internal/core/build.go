@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/trace"
 )
 
 // Method enumerates the RangeReach evaluation methods of the paper's
@@ -103,6 +104,19 @@ func (m Method) SupportsMBR() bool {
 type BuildOptions struct {
 	// Policy is the SCC spatial policy for the methods that support it.
 	Policy dataset.SCCPolicy
+	// Parallelism bounds the worker count of the build pipeline: 0 or 1
+	// builds exactly as the sequential code path, n > 1 lets independent
+	// phases (labeling vs. spatial tree, Auto members) and
+	// level-parallel index construction fan out across up to n workers.
+	// Results are identical at any setting — parallel construction is
+	// deterministic by design (see DESIGN.md §12). It is propagated into
+	// every sub-option that has its own Parallelism knob, unless that
+	// knob is already set.
+	Parallelism int
+	// Span, when non-nil, accumulates named per-phase build durations.
+	// BuildMethod allocates one itself when nil, so BuildResult.Phases
+	// is always populated.
+	Span *trace.BuildSpan
 	// SpaReach carries the spatial-first options (Policy is overridden).
 	SpaReach SpaReachOptions
 	// ThreeD carries the 3DReach options (Policy is overridden).
@@ -115,6 +129,31 @@ type BuildOptions struct {
 	Auto AutoOptions
 }
 
+// propagate copies the build-wide Parallelism and Span into each
+// sub-option so constructors see them regardless of which entry point
+// the build came through. Per-method Parallelism overrides win.
+func (o *BuildOptions) propagate() {
+	if o.Span == nil {
+		o.Span = &trace.BuildSpan{}
+	}
+	if o.SpaReach.Parallelism == 0 {
+		o.SpaReach.Parallelism = o.Parallelism
+	}
+	if o.ThreeD.Parallelism == 0 {
+		o.ThreeD.Parallelism = o.Parallelism
+	}
+	if o.SocReach.Parallelism == 0 {
+		o.SocReach.Parallelism = o.Parallelism
+	}
+	if o.GeoReach.Params.Parallelism == 0 {
+		o.GeoReach.Params.Parallelism = o.Parallelism
+	}
+	o.SpaReach.Span = o.Span
+	o.ThreeD.Span = o.Span
+	o.SocReach.Span = o.Span
+	o.GeoReach.Span = o.Span
+}
+
 // BuildResult is a constructed engine plus its offline costs, the raw
 // material of Tables 4 and 5.
 type BuildResult struct {
@@ -123,6 +162,9 @@ type BuildResult struct {
 	Policy    dataset.SCCPolicy
 	BuildTime time.Duration
 	Bytes     int64
+	// Phases attributes the build wall-clock to named pipeline phases
+	// ("labeling", "spatial", "reach", …), sorted by name.
+	Phases []trace.BuildPhase
 }
 
 // BuildMethod constructs the engine for a method, timing the build. It
@@ -132,6 +174,7 @@ func BuildMethod(prep *dataset.Prepared, m Method, opts BuildOptions) (BuildResu
 	if opts.Policy == dataset.MBR && !m.SupportsMBR() {
 		return BuildResult{}, fmt.Errorf("core: %v has no MBR variant", m)
 	}
+	opts.propagate()
 	//lint:ignore hotclock build-time measurement, not the query path
 	start := time.Now()
 	var e Engine
@@ -184,5 +227,6 @@ func BuildMethod(prep *dataset.Prepared, m Method, opts BuildOptions) (BuildResu
 		//lint:ignore hotclock build-time measurement, not the query path
 		BuildTime: time.Since(start),
 		Bytes:     e.MemoryBytes(),
+		Phases:    opts.Span.Phases(),
 	}, nil
 }

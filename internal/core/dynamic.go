@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/labeling"
+	"repro/internal/pool"
 	"repro/internal/rtree"
 	"repro/internal/trace"
 )
@@ -48,6 +49,7 @@ type DynamicThreeDReach struct {
 
 	hasExtents bool
 	fanout     int
+	par        int // worker bound for base rebuilds
 
 	// comp maps original vertices (including ones added later) to DAG
 	// component ids.
@@ -64,6 +66,7 @@ func NewDynamicThreeDReach(prep *dataset.Prepared, opts ThreeDOptions) *DynamicT
 		n:          prep.Net.NumVertices(),
 		hasExtents: prep.Net.HasExtents(),
 		fanout:     opts.Fanout,
+		par:        opts.Parallelism,
 	}
 	for v, s := range prep.Net.Spatial {
 		if s {
@@ -81,9 +84,12 @@ func NewDynamicThreeDReach(prep *dataset.Prepared, opts ThreeDOptions) *DynamicT
 
 // rebuildBase packs a fresh base tree over a copy of all entries and
 // empties the overlay. The copy keeps e.entries private: BulkLoad both
-// reorders its input and aliases it from the leaves.
+// reorders its input and aliases it from the leaves. The rebuild may use
+// a worker pool; its goroutines all join before the new base pointer is
+// published, so the single-writer contract is unaffected.
 func (e *DynamicThreeDReach) rebuildBase() {
-	e.base = rtree.BulkLoad(append([]rtree.Entry[geom.Box3](nil), e.entries...), e.fanout)
+	wp := pool.New(max(e.par, 1))
+	e.base = rtree.BulkLoadPool(append([]rtree.Entry[geom.Box3](nil), e.entries...), e.fanout, wp)
 	if !e.hasExtents {
 		e.base.SetLeafBoundBytes(24)
 	}

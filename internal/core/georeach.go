@@ -17,12 +17,17 @@ type GeoReach struct {
 // GeoReachOptions configures NewGeoReach.
 type GeoReachOptions struct {
 	// Params are the SPA-Graph construction parameters; zero values
-	// select the documented defaults.
+	// select the documented defaults. Params.Parallelism bounds the
+	// classification workers.
 	Params georeach.Params
+	// Span, when non-nil, accumulates named per-phase build durations.
+	Span *trace.BuildSpan
 }
 
 // NewGeoReach builds the GeoReach engine.
 func NewGeoReach(prep *dataset.Prepared, opts GeoReachOptions) *GeoReach {
+	t := opts.Span.Start()
+	defer opts.Span.End("spagraph", t)
 	return &GeoReach{idx: georeach.Build(prep, opts.Params)}
 }
 

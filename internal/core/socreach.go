@@ -33,14 +33,23 @@ type SocReachOptions struct {
 	// SkipCompression keeps the labels as descendant singletons, for
 	// the compression ablation.
 	SkipCompression bool
+	// Parallelism bounds the build workers of the labeling: 0 or 1
+	// builds sequentially, n > 1 merges label sets level-parallel. The
+	// labeling is identical at any setting.
+	Parallelism int
+	// Span, when non-nil, accumulates named per-phase build durations.
+	Span *trace.BuildSpan
 }
 
 // NewSocReach builds the SocReach engine.
 func NewSocReach(prep *dataset.Prepared, opts SocReachOptions) *SocReach {
+	t := opts.Span.Start()
 	l := labeling.Build(prep.DAG, labeling.Options{
 		Forest:          opts.Forest,
 		SkipCompression: opts.SkipCompression,
+		Parallelism:     opts.Parallelism,
 	})
+	opts.Span.End("labeling", t)
 	return NewSocReachWithLabeling(prep, l, opts)
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/labeling"
 	"repro/internal/pll"
+	"repro/internal/pool"
 	"repro/internal/rtree"
 	"repro/internal/trace"
 )
@@ -59,19 +60,28 @@ type SpaReachOptions struct {
 	// sensitive to spatial selectivity); rrbench's ablation-streaming
 	// quantifies the difference. Default false = faithful.
 	Streaming bool
+	// Parallelism bounds the build workers: 0 or 1 builds sequentially,
+	// n > 1 constructs the reachability index and the 2D R-tree
+	// concurrently and parallelizes each internally where the structure
+	// allows. The built engine is identical at any setting.
+	Parallelism int
+	// Span, when non-nil, accumulates named per-phase build durations.
+	Span *trace.BuildSpan
 }
 
 // NewSpaReachBFL builds the SpaReach-BFL engine.
 func NewSpaReachBFL(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
-	idx := bfl.Build(prep.DAG, bfl.Options{Bits: opts.BFLBits})
-	return newSpaReach("SpaReach-BFL", prep, idx, opts)
+	return newSpaReachPipelined("SpaReach-BFL", prep, opts, "reach", func() reachIndex {
+		return bfl.Build(prep.DAG, bfl.Options{Bits: opts.BFLBits, Parallelism: opts.Parallelism})
+	})
 }
 
 // NewSpaReachINT builds the SpaReach-INT engine, which uses the paper's
 // interval-based labeling for the reachability probes.
 func NewSpaReachINT(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
-	l := labeling.Build(prep.DAG, labeling.Options{Forest: opts.Forest})
-	return NewSpaReachINTWithLabeling(prep, l, opts)
+	return newSpaReachPipelined("SpaReach-INT", prep, opts, "labeling", func() reachIndex {
+		return labeling.Build(prep.DAG, labeling.Options{Forest: opts.Forest, Parallelism: opts.Parallelism})
+	})
 }
 
 // NewSpaReachINTWithLabeling builds SpaReach-INT around an existing
@@ -84,28 +94,66 @@ func NewSpaReachINTWithLabeling(prep *dataset.Prepared, l *labeling.Labeling, op
 // NewSpaReachPLL builds the SpaReach-PLL engine, the 2-hop-labeled
 // spatial-first variant Sarwat and Sun evaluate in [47] (paper §2.2.1).
 func NewSpaReachPLL(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
-	return newSpaReach("SpaReach-PLL", prep, pll.Build(prep.DAG, pll.Options{}), opts)
+	return newSpaReachPipelined("SpaReach-PLL", prep, opts, "reach", func() reachIndex {
+		return pll.Build(prep.DAG, pll.Options{})
+	})
 }
 
 // NewSpaReachFeline builds the SpaReach-Feline engine, the second
 // spatial-first variant of [47]: reachability probes through Feline's
 // two-topological-order dominance test with pruned-DFS fallback.
 func NewSpaReachFeline(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
-	return newSpaReach("SpaReach-Feline", prep, feline.Build(prep.DAG), opts)
+	return newSpaReachPipelined("SpaReach-Feline", prep, opts, "reach", func() reachIndex {
+		return feline.Build(prep.DAG)
+	})
 }
 
 // NewSpaReachGRAIL builds a spatial-first variant probing through GRAIL
 // randomized interval labels (paper §7.1).
 func NewSpaReachGRAIL(prep *dataset.Prepared, opts SpaReachOptions) *SpaReach {
-	return newSpaReach("SpaReach-GRAIL", prep, grail.Build(prep.DAG, grail.Options{}), opts)
+	return newSpaReachPipelined("SpaReach-GRAIL", prep, opts, "reach", func() reachIndex {
+		return grail.Build(prep.DAG, grail.Options{})
+	})
+}
+
+// newSpaReachPipelined assembles a SpaReach engine whose two independent
+// build phases — the reachability index and the 2D R-tree — run
+// concurrently when opts.Parallelism allows (they only read prep). On a
+// sequential pool Run degrades to two inline calls, so the 0/1 setting
+// is exactly the old code path.
+func newSpaReachPipelined(name string, prep *dataset.Prepared, opts SpaReachOptions, phase string, build func() reachIndex) *SpaReach {
+	p := pool.New(max(opts.Parallelism, 1))
+	var reach reachIndex
+	var tree *rtree.Tree[geom.Rect]
+	_ = p.Run(
+		func() error {
+			t := opts.Span.Start()
+			reach = build()
+			opts.Span.End(phase, t)
+			return nil
+		},
+		func() error {
+			t := opts.Span.Start()
+			tree = buildSpatialTree(prep, opts.Policy, opts.Fanout, p)
+			opts.Span.End("spatial", t)
+			return nil
+		},
+	)
+	return newSpaReachWithTree(name, prep, reach, tree, opts)
 }
 
 func newSpaReach(name string, prep *dataset.Prepared, reach reachIndex, opts SpaReachOptions) *SpaReach {
+	t := opts.Span.Start()
+	tree := buildSpatialTree(prep, opts.Policy, opts.Fanout, pool.New(max(opts.Parallelism, 1)))
+	opts.Span.End("spatial", t)
+	return newSpaReachWithTree(name, prep, reach, tree, opts)
+}
+
+func newSpaReachWithTree(name string, prep *dataset.Prepared, reach reachIndex, tree *rtree.Tree[geom.Rect], opts SpaReachOptions) *SpaReach {
 	e := &SpaReach{
 		name: name, prep: prep, policy: opts.Policy,
-		reach: reach, streaming: opts.Streaming,
+		reach: reach, streaming: opts.Streaming, tree: tree,
 	}
-	e.tree = buildSpatialTree(prep, opts.Policy, opts.Fanout)
 	e.scratch.New = func() any { return &spaScratch{} }
 	return e
 }
@@ -113,8 +161,9 @@ func newSpaReach(name string, prep *dataset.Prepared, reach reachIndex, opts Spa
 // buildSpatialTree bulk-loads the 2D R-tree over the network's spatial
 // information: one point per spatial vertex under Replicate (entry id =
 // original vertex), or one rectangle per component with spatial members
-// under MBR (entry id = component).
-func buildSpatialTree(prep *dataset.Prepared, policy dataset.SCCPolicy, fanout int) *rtree.Tree[geom.Rect] {
+// under MBR (entry id = component). A non-sequential pool parallelizes
+// the STR packing; the tree is identical either way.
+func buildSpatialTree(prep *dataset.Prepared, policy dataset.SCCPolicy, fanout int, p *pool.Pool) *rtree.Tree[geom.Rect] {
 	var entries []rtree.Entry[geom.Rect]
 	if policy == dataset.MBR {
 		for c := range prep.Members {
@@ -135,7 +184,7 @@ func buildSpatialTree(prep *dataset.Prepared, policy dataset.SCCPolicy, fanout i
 			}
 		}
 	}
-	t := rtree.BulkLoad(entries, fanout)
+	t := rtree.BulkLoadPool(entries, fanout, p)
 	if policy == dataset.Replicate && !prep.Net.HasExtents() {
 		t.SetLeafBoundBytes(16) // points, not rectangles
 	}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/labeling"
+	"repro/internal/pool"
 	"repro/internal/rtree"
 	"repro/internal/trace"
 )
@@ -45,11 +46,21 @@ type ThreeDOptions struct {
 	// (default the paper's R-tree). The MBR policy and 3DReach-Rev
 	// index extended objects and always use the R-tree.
 	Backend SpatialBackend
+	// Parallelism bounds the build workers: 0 or 1 builds sequentially,
+	// n > 1 parallelizes the labeling and the spatial bulk load
+	// internally. The 3D index depends on the labeling's post-order
+	// numbers, so the two phases chain rather than overlap. The built
+	// engine is identical at any setting.
+	Parallelism int
+	// Span, when non-nil, accumulates named per-phase build durations.
+	Span *trace.BuildSpan
 }
 
 // NewThreeDReach builds the point-based 3DReach engine.
 func NewThreeDReach(prep *dataset.Prepared, opts ThreeDOptions) *ThreeDReach {
-	l := labeling.Build(prep.DAG, labeling.Options{Forest: opts.Forest})
+	t := opts.Span.Start()
+	l := labeling.Build(prep.DAG, labeling.Options{Forest: opts.Forest, Parallelism: opts.Parallelism})
+	opts.Span.End("labeling", t)
 	return NewThreeDReachWithLabeling(prep, l, opts)
 }
 
@@ -59,6 +70,9 @@ func NewThreeDReach(prep *dataset.Prepared, opts ThreeDOptions) *ThreeDReach {
 // which is cheap relative to labeling construction.
 func NewThreeDReachWithLabeling(prep *dataset.Prepared, l *labeling.Labeling, opts ThreeDOptions) *ThreeDReach {
 	e := &ThreeDReach{prep: prep, policy: opts.Policy, l: l}
+	wp := pool.New(max(opts.Parallelism, 1))
+	t := opts.Span.Start()
+	defer opts.Span.End("spatial", t)
 
 	if opts.Policy == dataset.MBR {
 		// A component's geometry is its member MBR, lifted to its
@@ -74,7 +88,7 @@ func NewThreeDReachWithLabeling(prep *dataset.Prepared, l *labeling.Labeling, op
 				})
 			}
 		}
-		e.boxes = rtree.BulkLoad(entries, opts.Fanout)
+		e.boxes = rtree.BulkLoadPool(entries, opts.Fanout, wp)
 		return e
 	}
 
@@ -91,7 +105,7 @@ func NewThreeDReachWithLabeling(prep *dataset.Prepared, l *labeling.Labeling, op
 				})
 			}
 		}
-		e.boxes = rtree.BulkLoad(entries, opts.Fanout)
+		e.boxes = rtree.BulkLoadPool(entries, opts.Fanout, wp)
 		e.exactBoxes = true
 		return e
 	}
@@ -106,7 +120,7 @@ func NewThreeDReachWithLabeling(prep *dataset.Prepared, l *labeling.Labeling, op
 			})
 		}
 	}
-	e.points = buildPointIndex3(pts, opts.Backend, opts.Fanout)
+	e.points = buildPointIndex3(pts, opts.Backend, opts.Fanout, wp)
 	return e
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/labeling"
+	"repro/internal/pool"
 	"repro/internal/rtree"
 	"repro/internal/trace"
 )
@@ -25,7 +26,9 @@ type ThreeDReachRev struct {
 
 // NewThreeDReachRev builds the line-based 3DReach-Rev engine.
 func NewThreeDReachRev(prep *dataset.Prepared, opts ThreeDOptions) *ThreeDReachRev {
-	rev := labeling.Build(prep.DAG.Reverse(), labeling.Options{Forest: opts.Forest})
+	t := opts.Span.Start()
+	rev := labeling.Build(prep.DAG.Reverse(), labeling.Options{Forest: opts.Forest, Parallelism: opts.Parallelism})
+	opts.Span.End("labeling", t)
 	return NewThreeDReachRevWithLabeling(prep, rev, opts)
 }
 
@@ -34,6 +37,8 @@ func NewThreeDReachRev(prep *dataset.Prepared, opts ThreeDOptions) *ThreeDReachR
 // from disk.
 func NewThreeDReachRevWithLabeling(prep *dataset.Prepared, rev *labeling.Labeling, opts ThreeDOptions) *ThreeDReachRev {
 	e := &ThreeDReachRev{prep: prep, policy: opts.Policy, rev: rev}
+	t := opts.Span.Start()
+	defer opts.Span.End("spatial", t)
 
 	var entries []rtree.Entry[geom.Box3]
 	if opts.Policy == dataset.MBR {
@@ -66,7 +71,7 @@ func NewThreeDReachRevWithLabeling(prep *dataset.Prepared, rev *labeling.Labelin
 			}
 		}
 	}
-	e.tree = rtree.BulkLoad(entries, opts.Fanout)
+	e.tree = rtree.BulkLoadPool(entries, opts.Fanout, pool.New(max(opts.Parallelism, 1)))
 	// Segments and boxes are stored alike (min/max corners), matching the
 	// paper's observation about Boost's R-tree (§6.2): no leaf-payload
 	// override either way.

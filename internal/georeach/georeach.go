@@ -26,7 +26,9 @@ package georeach
 import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/graph"
 	"repro/internal/grid"
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -57,6 +59,14 @@ type Params struct {
 	// Levels is the number of grid levels (default 8, i.e. a 128×128
 	// finest partitioning).
 	Levels int
+	// Parallelism bounds the workers of the SPA-Graph classification:
+	// 0 or 1 keeps the sequential path, n > 1 classifies each
+	// topological level with up to n workers. The per-vertex
+	// computation — cell covering, grid unions, MBR unions, the
+	// downgrade cascade — is exactly the sequential one over the same
+	// finished successor state, so classification (and the serialized
+	// SPA-Graph) is identical at any worker count.
+	Parallelism int
 }
 
 func (p Params) withDefaults() Params {
@@ -102,15 +112,12 @@ func Build(prep *dataset.Prepared, params Params) *Index {
 	}
 	maxArea := params.MaxRMBRFraction * space.Area()
 
-	topo, ok := prep.DAG.TopoOrder()
-	if !ok {
-		panic("georeach: condensed graph is not a DAG")
-	}
-	// Children before parents: classification is monotone (G ≥ R ≥ B in
+	// classify computes v's class from its own members and its
+	// successors' finished state, writing only v's slots. Children
+	// before parents: classification is monotone (G ≥ R ≥ B in
 	// information), and a vertex can never hold finer information than
 	// its least-informative successor with spatial reach.
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := int(topo[i])
+	classify := func(v int) {
 		kind := GVertex
 		cells := make(grid.CellSet)
 		mbr := geom.EmptyRect()
@@ -147,7 +154,7 @@ func Build(prep *dataset.Prepared, params Params) *Index {
 		idx.geoB[v] = reaches
 		if !reaches {
 			idx.kind[v] = BVertex
-			continue
+			return
 		}
 		if kind == GVertex {
 			cells.Merge(h, params.MergeCount)
@@ -157,7 +164,7 @@ func Build(prep *dataset.Prepared, params Params) *Index {
 				idx.kind[v] = GVertex
 				idx.grids[v] = cells
 				idx.rmbr[v] = mbr // kept for child classification only
-				continue
+				return
 			}
 		}
 		if kind == RVertex {
@@ -166,11 +173,31 @@ func Build(prep *dataset.Prepared, params Params) *Index {
 			} else {
 				idx.kind[v] = RVertex
 				idx.rmbr[v] = mbr
-				continue
+				return
 			}
 		}
 		idx.kind[v] = BVertex
 		idx.rmbr[v] = mbr // kept for child classification only
+	}
+
+	if p := pool.New(max(params.Parallelism, 1)); !p.Sequential() {
+		// Level-synchronous classification: vertices of one topological
+		// height share no edges, so each reads its successors' finished
+		// state from strictly lower levels and writes only its own.
+		levels := graph.LevelsFromSinks(prep.DAG)
+		if levels == nil {
+			panic("georeach: condensed graph is not a DAG")
+		}
+		p.Levels(levels, func(v int32) { classify(int(v)) })
+		return idx
+	}
+
+	topo, ok := prep.DAG.TopoOrder()
+	if !ok {
+		panic("georeach: condensed graph is not a DAG")
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		classify(int(topo[i]))
 	}
 	return idx
 }

@@ -1,0 +1,36 @@
+package georeach
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestParallelBuildIdentical asserts that level-parallel SPA-Graph
+// classification serializes byte-identically to the sequential build.
+func TestParallelBuildIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		net := randomNetwork(rng, 40+rng.Intn(120), 20+rng.Intn(60))
+		prep := dataset.Prepare(net)
+		seq := Build(prep, Params{Parallelism: 1})
+		for _, par := range []int{2, 8} {
+			got := Build(prep, Params{Parallelism: par})
+			var a, b bytes.Buffer
+			if _, err := seq.WriteTo(&a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := got.WriteTo(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("trial %d par %d: serialized SPA-Graphs differ", trial, par)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("trial %d par %d: parallel build fails validation: %v", trial, par, err)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
@@ -66,7 +67,15 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 		if err := write(uint32(cells.Len())); err != nil {
 			return written, err
 		}
+		// Sorted keys make the serialization canonical: identical
+		// SPA-Graphs — however built, sequentially or in parallel —
+		// produce identical bytes. Read is order-agnostic.
+		keys := make([]uint64, 0, cells.Len())
 		for key := range cells {
+			keys = append(keys, key)
+		}
+		slices.Sort(keys)
+		for _, key := range keys {
 			if err := write(key); err != nil {
 				return written, err
 			}

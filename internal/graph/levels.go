@@ -1,0 +1,49 @@
+package graph
+
+// LevelsFromSinks partitions the vertices of a DAG into topological
+// height levels: level(v) = 0 for sinks, otherwise
+// 1 + max(level(u) : u ∈ Out(v)). Within one level no vertex reaches
+// another, so a children-before-parents computation (interval-label
+// merging, BFL L_out propagation, SPA-Graph classification) may process
+// an entire level concurrently — every vertex reads only the finished
+// state of strictly lower levels and writes only its own.
+//
+// Vertices within a level appear in increasing id order, so the
+// decomposition itself is deterministic. For a parents-before-children
+// pass, call LevelsFromSinks on g.Reverse() (an O(1) view).
+//
+// It returns nil if g is not a DAG.
+func LevelsFromSinks(g *Graph) [][]int32 {
+	topo, ok := g.TopoOrder()
+	if !ok {
+		return nil
+	}
+	n := g.NumVertices()
+	level := make([]int32, n)
+	maxLevel := int32(0)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		l := int32(0)
+		for _, u := range g.Out(int(v)) {
+			if level[u]+1 > l {
+				l = level[u] + 1
+			}
+		}
+		level[v] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	counts := make([]int32, maxLevel+1)
+	for v := 0; v < n; v++ {
+		counts[level[v]]++
+	}
+	levels := make([][]int32, maxLevel+1)
+	for l := range levels {
+		levels[l] = make([]int32, 0, counts[l])
+	}
+	for v := 0; v < n; v++ {
+		levels[level[v]] = append(levels[level[v]], int32(v))
+	}
+	return levels
+}

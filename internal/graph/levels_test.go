@@ -1,0 +1,43 @@
+package graph
+
+import "testing"
+
+func TestLevelsFromSinks(t *testing.T) {
+	// 0 → 1 → 3, 0 → 2 → 3, 4 isolated.
+	g := FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	levels := LevelsFromSinks(g)
+	if len(levels) != 3 {
+		t.Fatalf("got %d levels, want 3", len(levels))
+	}
+	want := [][]int32{{3, 4}, {1, 2}, {0}}
+	for l := range want {
+		if len(levels[l]) != len(want[l]) {
+			t.Fatalf("level %d = %v, want %v", l, levels[l], want[l])
+		}
+		for i := range want[l] {
+			if levels[l][i] != want[l][i] {
+				t.Fatalf("level %d = %v, want %v", l, levels[l], want[l])
+			}
+		}
+	}
+
+	// Every edge must go from a higher level to a strictly lower one.
+	level := make([]int, 5)
+	for l, vs := range levels {
+		for _, v := range vs {
+			level[v] = l
+		}
+	}
+	g.Edges(func(u, v int) {
+		if level[u] <= level[v] {
+			t.Fatalf("edge (%d,%d): level %d → %d not decreasing", u, v, level[u], level[v])
+		}
+	})
+}
+
+func TestLevelsFromSinksCycle(t *testing.T) {
+	g := FromEdges(2, [][2]int{{0, 1}, {1, 0}})
+	if LevelsFromSinks(g) != nil {
+		t.Fatal("cyclic graph must yield nil levels")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -43,11 +44,29 @@ type Tree struct {
 // Build constructs a tree over the given points with the given
 // dimensionality (2 or 3). The points slice is reordered in place.
 func Build(pts []Point, dims int) *Tree {
+	return BuildPool(pts, dims, nil)
+}
+
+// parallelCutoff is the subrange size below which BuildPool stops
+// forking: quickselect over a few thousand points is cheaper than a
+// goroutine handoff.
+const parallelCutoff = 4096
+
+// BuildPool is Build with a worker pool: after each median split the two
+// subtrees build concurrently while the subrange is larger than a cutoff.
+// A nil or sequential pool is exactly Build. The tree is identical either
+// way — the split point and the quickselect are deterministic, and the
+// two recursions touch disjoint subranges of pts and axis.
+func BuildPool(pts []Point, dims int, p *pool.Pool) *Tree {
 	if dims != 2 && dims != 3 {
 		panic("kdtree: dims must be 2 or 3")
 	}
 	t := &Tree{dims: dims, pts: pts, axis: make([]int8, len(pts))}
-	t.build(0, len(pts), 0)
+	if p.Sequential() {
+		t.build(0, len(pts), 0)
+	} else {
+		t.buildPool(0, len(pts), 0, p)
+	}
 	return t
 }
 
@@ -64,6 +83,27 @@ func (t *Tree) build(lo, hi, depth int) {
 	t.axis[mid] = int8(axis)
 	t.build(lo, mid, depth+1)
 	t.build(mid+1, hi, depth+1)
+}
+
+// buildPool is build with the left/right recursions forked while the
+// subrange exceeds parallelCutoff.
+func (t *Tree) buildPool(lo, hi, depth int, p *pool.Pool) {
+	if hi-lo <= 1 {
+		return
+	}
+	axis := depth % t.dims
+	mid := (lo + hi) / 2
+	nthElement(t.pts[lo:hi], mid-lo, axis)
+	t.axis[mid] = int8(axis)
+	if hi-lo < parallelCutoff {
+		t.build(lo, mid, depth+1)
+		t.build(mid+1, hi, depth+1)
+		return
+	}
+	_ = p.Run(
+		func() error { t.buildPool(lo, mid, depth+1, p); return nil },
+		func() error { t.buildPool(mid+1, hi, depth+1, p); return nil },
+	)
 }
 
 // nthElement partially sorts pts so that pts[n] is the element that

@@ -1,0 +1,41 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+// TestBuildPoolIdentical asserts that the forked left/right subtree
+// builds produce the exact point permutation and axis tags of the
+// sequential build. Sizes straddle parallelCutoff so both the forked and
+// the inline paths are exercised.
+func TestBuildPoolIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{0, 1, 2, 100, parallelCutoff - 1, parallelCutoff, 3 * parallelCutoff} {
+		for _, dims := range []int{2, 3} {
+			pts := make([]Point, n)
+			for i := range pts {
+				pts[i] = Point{
+					X:  rng.Float64() * 100,
+					Y:  rng.Float64() * 100,
+					Z:  float64(rng.Intn(1000)),
+					ID: int32(i),
+				}
+			}
+			seq := Build(append([]Point(nil), pts...), dims)
+			for _, par := range []int{2, 8} {
+				got := BuildPool(append([]Point(nil), pts...), dims, pool.New(par))
+				if err := got.Validate(); err != nil {
+					t.Fatalf("n=%d dims=%d par=%d: %v", n, dims, par, err)
+				}
+				for i := range seq.pts {
+					if seq.pts[i] != got.pts[i] || seq.axis[i] != got.axis[i] {
+						t.Fatalf("n=%d dims=%d par=%d: tree differs at slot %d", n, dims, par, i)
+					}
+				}
+			}
+		}
+	}
+}

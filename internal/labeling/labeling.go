@@ -23,8 +23,11 @@
 package labeling
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/intervals"
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -36,6 +39,15 @@ type Options struct {
 	// compression ablation. The sets are still sorted and deduplicated
 	// enough to answer queries, but adjacent intervals are not merged.
 	SkipCompression bool
+	// Parallelism bounds the workers of the reverse-topological merge:
+	// 0 keeps the sequential path (the library-wide default is applied
+	// by core.BuildOptions, not here), 1 forces it, n > 1 processes each
+	// topological level with up to n workers. The spanning forest and
+	// post-order assignment always run sequentially — they fix the
+	// serialized bytes — and the parallel merge produces the identical
+	// labeling: every vertex's label set is computed from the same
+	// successor sets by the same code, only scheduled concurrently.
+	Parallelism int
 }
 
 // Labeling is the interval-based labeling of a DAG.
@@ -77,6 +89,12 @@ func BuildWithForest(g *graph.Graph, forest *graph.SpanningForest, opts Options)
 		Forest: forest,
 	}
 
+	if p := pool.New(max(opts.Parallelism, 1)); !p.Sequential() {
+		l.mergeParallel(g, forest, p)
+		l.finishStats(opts)
+		return l
+	}
+
 	topo, ok := g.TopoOrder()
 	if !ok {
 		panic("labeling: Build requires a DAG")
@@ -99,6 +117,35 @@ func BuildWithForest(g *graph.Graph, forest *graph.SpanningForest, opts Options)
 	}
 	l.finishStats(opts)
 	return l
+}
+
+// mergeParallel is the level-synchronous variant of the reverse-topo
+// merge: vertices of one topological height level share no edges, so
+// each can gather its successors' finished label sets and write its own
+// concurrently. The per-vertex computation is byte-for-byte the
+// sequential one (same successor order, same compression), so the
+// resulting labeling — and anything serialized from it — is identical
+// at any worker count.
+func (l *Labeling) mergeParallel(g *graph.Graph, forest *graph.SpanningForest, p *pool.Pool) {
+	levels := graph.LevelsFromSinks(g)
+	if levels == nil {
+		panic("labeling: Build requires a DAG")
+	}
+	// Per-worker merge buffers, recycled through a sync.Pool so one
+	// level's allocations serve the next.
+	scratch := sync.Pool{New: func() any { return new(intervals.Set) }}
+	p.Levels(levels, func(v int32) {
+		bp := scratch.Get().(*intervals.Set)
+		buf := (*bp)[:0]
+		buf = append(buf, intervals.Interval{Lo: forest.Post[v], Hi: forest.Post[v]})
+		for _, u := range g.Out(int(v)) {
+			buf = append(buf, l.Labels[u]...)
+		}
+		set := buf.Compress()
+		l.Labels[v] = append(intervals.Set(nil), set...)
+		*bp = set[:0]
+		scratch.Put(bp)
+	})
 }
 
 // finishStats fills the Table 6 counters and optionally de-canonicalizes

@@ -1,0 +1,211 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryTaskOnce(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 8} {
+		p := New(size)
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		if err := p.ForEach(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("size %d: unexpected error: %v", size, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("size %d: task %d ran %d times", size, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachDeterministicOrdering is the contract the parallel builders
+// rely on: results written to slot i from task i produce the same slice
+// regardless of pool size or scheduling.
+func TestForEachDeterministicOrdering(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, size := range []int{1, 3, 16} {
+		got := make([]int, n)
+		if err := New(size).ForEach(n, func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: slot %d = %d, want %d", size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachErrorFirstCancellation(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, size := range []int{1, 4} {
+		p := New(size)
+		const n = 100000
+		var ran atomic.Int64
+		err := p.ForEach(n, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return errBoom
+			}
+			return nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("size %d: got error %v, want %v", size, err, errBoom)
+		}
+		// Error-first cancellation: once task 3 fails, dispatch stops. The
+		// in-flight window is at most a few tasks per worker; nothing close
+		// to the full range may run.
+		if got := ran.Load(); got >= n {
+			t.Fatalf("size %d: %d tasks ran after early error, cancellation is broken", size, got)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// All tasks fail; the reported error must be the sequential-order
+	// first one no matter which worker finished first.
+	p := New(8)
+	err := p.ForEach(64, func(i int) error { return fmt.Errorf("task %d", i) })
+	if err == nil || err.Error() != "task 0" {
+		t.Fatalf("got %v, want error of task 0", err)
+	}
+}
+
+func TestForEachPanicPropagation(t *testing.T) {
+	p := New(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+		pan, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T, want *Panic", r)
+		}
+		if pan.Value != "kaput" {
+			t.Fatalf("panic value = %v, want kaput", pan.Value)
+		}
+		if pan.Task != 7 {
+			t.Fatalf("panic task = %d, want 7", pan.Task)
+		}
+		if len(pan.Stack) == 0 {
+			t.Fatal("panic carries no worker stack")
+		}
+	}()
+	_ = p.ForEach(32, func(i int) error {
+		if i == 7 {
+			panic("kaput")
+		}
+		return nil
+	})
+}
+
+func TestSequentialPanicUnwrapped(t *testing.T) {
+	// Size-1 pools are the exact old code path: panics propagate as-is.
+	defer func() {
+		if r := recover(); r != "raw" {
+			t.Fatalf("recovered %v, want raw", r)
+		}
+	}()
+	_ = New(1).ForEach(4, func(i int) error {
+		if i == 2 {
+			panic("raw")
+		}
+		return nil
+	})
+}
+
+func TestSequentialStopsAtFirstError(t *testing.T) {
+	var ran int
+	err := New(1).ForEach(10, func(i int) error {
+		ran++
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 3 {
+		t.Fatalf("ran=%d err=%v, want exactly 3 tasks and an error", ran, err)
+	}
+}
+
+func TestRun(t *testing.T) {
+	var a, b atomic.Bool
+	err := New(2).Run(
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return nil },
+	)
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("Run: err=%v a=%v b=%v", err, a.Load(), b.Load())
+	}
+	if err := New(2).Run(); err != nil {
+		t.Fatalf("empty Run: %v", err)
+	}
+}
+
+func TestLevelsSynchronization(t *testing.T) {
+	// Vertices of level l+1 read state written by level l; the barrier
+	// between levels makes that safe. Model it: each vertex records the
+	// number of completed predecessors it observed.
+	const perLevel, nLevels = 300, 5
+	levels := make([][]int32, nLevels)
+	id := int32(0)
+	for l := range levels {
+		for i := 0; i < perLevel; i++ {
+			levels[l] = append(levels[l], id)
+			id++
+		}
+	}
+	for _, size := range []int{1, 4} {
+		done := make([]atomic.Bool, int(id))
+		ok := atomic.Bool{}
+		ok.Store(true)
+		New(size).Levels(levels, func(v int32) {
+			level := int(v) / perLevel
+			// Every vertex of every earlier level must be complete.
+			for u := 0; u < level*perLevel; u++ {
+				if !done[u].Load() {
+					ok.Store(false)
+				}
+			}
+			done[v].Store(true)
+		})
+		if !ok.Load() {
+			t.Fatalf("size %d: a vertex ran before its predecessor level completed", size)
+		}
+		for v := range done {
+			if !done[v].Load() {
+				t.Fatalf("size %d: vertex %d never ran", size, v)
+			}
+		}
+	}
+}
+
+func TestNewDefaultsAndNilPool(t *testing.T) {
+	if New(0).Size() < 1 {
+		t.Fatal("New(0) must select at least one worker")
+	}
+	var p *Pool
+	if p.Size() != 1 || !p.Sequential() {
+		t.Fatal("nil pool must behave sequentially")
+	}
+	n := 0
+	if err := p.ForEach(3, func(int) error { n++; return nil }); err != nil || n != 3 {
+		t.Fatalf("nil pool ForEach: n=%d err=%v", n, err)
+	}
+}

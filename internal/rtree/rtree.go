@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -74,19 +75,37 @@ func New[B Bound[B]](maxEntries int) *Tree[B] {
 // packing. The entries slice is reordered in place. A fan-out of 0
 // selects DefaultMaxEntries.
 func BulkLoad[B Bound[B]](entries []Entry[B], maxEntries int) *Tree[B] {
+	return BulkLoadPool(entries, maxEntries, nil)
+}
+
+// BulkLoadPool is BulkLoad with a worker pool: the top-level STR slabs
+// tile concurrently and leaf bounds are computed concurrently. A nil or
+// sequential pool is exactly BulkLoad. The tree is identical either way:
+// slab boundaries are fixed by the (sequential) top-level sort, each slab
+// runs the same per-slab code over its own disjoint sub-slice, and the
+// leaf groups are concatenated in slab order.
+func BulkLoadPool[B Bound[B]](entries []Entry[B], maxEntries int, p *pool.Pool) *Tree[B] {
 	t := New[B](maxEntries)
 	if len(entries) == 0 {
 		return t
 	}
 	t.size = len(entries)
-	leaves := strPack(entries, t.maxEntries)
+	leaves := strPack(entries, t.maxEntries, p)
 	nodes := make([]*node[B], len(leaves))
-	for i, leaf := range leaves {
-		n := &node[B]{leaf: true, entries: leaf}
+	makeLeaf := func(i int) {
+		n := &node[B]{leaf: true, entries: leaves[i]}
 		n.recomputeBounds()
 		nodes[i] = n
 	}
-	// Pack upper levels until a single root remains.
+	if p.Sequential() {
+		for i := range leaves {
+			makeLeaf(i)
+		}
+	} else {
+		_ = p.ForEach(len(leaves), func(i int) error { makeLeaf(i); return nil })
+	}
+	// Pack upper levels until a single root remains. Upper levels hold
+	// ~1/maxEntries of the nodes below; not worth fanning out.
 	for len(nodes) > 1 {
 		nodes = packLevel(nodes, t.maxEntries)
 	}
@@ -95,44 +114,60 @@ func BulkLoad[B Bound[B]](entries []Entry[B], maxEntries int) *Tree[B] {
 }
 
 // strPack tiles entries into leaf groups of at most maxEntries using the
-// STR algorithm, recursing over the dimensions of B.
-func strPack[B Bound[B]](entries []Entry[B], maxEntries int) [][]Entry[B] {
-	var out [][]Entry[B]
-	var tile func(es []Entry[B], dim int)
+// STR algorithm, recursing over the dimensions of B. Top-level slabs may
+// tile in parallel; each returns its own leaf groups and the results are
+// concatenated in slab order, so the output is independent of p.
+func strPack[B Bound[B]](entries []Entry[B], maxEntries int, p *pool.Pool) [][]Entry[B] {
+	var tile func(es []Entry[B], dim int) [][]Entry[B]
 	dims := entries[0].Box.Dims()
-	tile = func(es []Entry[B], dim int) {
+	tile = func(es []Entry[B], dim int) [][]Entry[B] {
+		sort.Slice(es, func(i, j int) bool {
+			return es[i].Box.CenterCoord(dim) < es[j].Box.CenterCoord(dim)
+		})
 		if dim == dims-1 || len(es) <= maxEntries {
-			sort.Slice(es, func(i, j int) bool {
-				return es[i].Box.CenterCoord(dim) < es[j].Box.CenterCoord(dim)
-			})
+			groups := make([][]Entry[B], 0, (len(es)+maxEntries-1)/maxEntries)
 			for i := 0; i < len(es); i += maxEntries {
 				end := i + maxEntries
 				if end > len(es) {
 					end = len(es)
 				}
-				out = append(out, es[i:end:end])
+				groups = append(groups, es[i:end:end])
 			}
-			return
+			return groups
 		}
-		sort.Slice(es, func(i, j int) bool {
-			return es[i].Box.CenterCoord(dim) < es[j].Box.CenterCoord(dim)
-		})
 		leafCount := (len(es) + maxEntries - 1) / maxEntries
 		slabs := int(math.Ceil(math.Pow(float64(leafCount), 1/float64(dims-dim))))
 		if slabs < 1 {
 			slabs = 1
 		}
 		per := (len(es) + slabs - 1) / slabs
+		var subs [][]Entry[B]
 		for i := 0; i < len(es); i += per {
 			end := i + per
 			if end > len(es) {
 				end = len(es)
 			}
-			tile(es[i:end:end], dim+1)
+			subs = append(subs, es[i:end:end])
 		}
+		if dim == 0 && !p.Sequential() && len(subs) > 1 {
+			results := make([][][]Entry[B], len(subs))
+			_ = p.ForEach(len(subs), func(i int) error {
+				results[i] = tile(subs[i], dim+1)
+				return nil
+			})
+			var out [][]Entry[B]
+			for _, r := range results {
+				out = append(out, r...)
+			}
+			return out
+		}
+		var out [][]Entry[B]
+		for _, sub := range subs {
+			out = append(out, tile(sub, dim+1)...)
+		}
+		return out
 	}
-	tile(entries, 0)
-	return out
+	return tile(entries, 0)
 }
 
 // packLevel groups child nodes into parents of at most maxEntries,

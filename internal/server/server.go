@@ -96,6 +96,7 @@ type Server struct {
 	mInflight   *metrics.Gauge
 	mLatency    *metrics.Histogram
 	mStages     map[string]*metrics.Histogram
+	mSnapBuild  *metrics.Histogram
 
 	reqID    atomic.Uint64 // request ids for log correlation
 	traceTik atomic.Uint64 // trace-sampling clock
@@ -135,6 +136,15 @@ func New(cfg Config) (*Server, error) {
 			"Engine time per pipeline stage, over traced queries.", nil)
 	}
 	if cfg.Index != nil {
+		// Build-phase durations are known at construction; publish them as
+		// one-observation histograms so dashboards see where offline time
+		// went (and, in dynamic mode below, how snapshot rebuilds trend).
+		for _, ph := range cfg.Index.Stats().Phases {
+			h := s.reg.Histogram(
+				fmt.Sprintf("rr_build_seconds{phase=%q}", ph.Name),
+				"Index build time attributed to each pipeline phase.", nil)
+			h.Observe(ph.Duration.Seconds())
+		}
 		// MethodAuto indexes expose how the planner routes queries; the
 		// tallies live in the engine, so scrape-time CounterFuncs read
 		// them instead of maintaining parallel counters.
@@ -165,7 +175,10 @@ func New(cfg Config) (*Server, error) {
 		s.cache = newQueryCache(n)
 	}
 	if cfg.Dynamic != nil {
-		s.dyn = newUpdater(cfg.Dynamic, s.mSwaps)
+		s.mSnapBuild = s.reg.Histogram(
+			`rr_build_seconds{phase="snapshot"}`,
+			"Index build time attributed to each pipeline phase.", nil)
+		s.dyn = newUpdater(cfg.Dynamic, s.mSwaps, s.mSnapBuild)
 	}
 
 	s.mux = http.NewServeMux()

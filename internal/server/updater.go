@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 
 	rangereach "repro"
 	"repro/internal/metrics"
@@ -50,21 +51,23 @@ type updateResult struct {
 // being taken coalesce into the next publish, so a burst of k updates
 // costs far fewer than k snapshots.
 type updater struct {
-	idx   *rangereach.DynamicIndex
-	snap  atomic.Pointer[publishedSnapshot]
-	ops   chan updateOp
-	quit  chan struct{}
-	done  chan struct{}
-	swaps *metrics.Counter
+	idx      *rangereach.DynamicIndex
+	snap     atomic.Pointer[publishedSnapshot]
+	ops      chan updateOp
+	quit     chan struct{}
+	done     chan struct{}
+	swaps    *metrics.Counter
+	snapTime *metrics.Histogram // rr_build_seconds{phase="snapshot"}
 }
 
-func newUpdater(idx *rangereach.DynamicIndex, swaps *metrics.Counter) *updater {
+func newUpdater(idx *rangereach.DynamicIndex, swaps *metrics.Counter, snapTime *metrics.Histogram) *updater {
 	u := &updater{
-		idx:   idx,
-		ops:   make(chan updateOp, 256),
-		quit:  make(chan struct{}),
-		done:  make(chan struct{}),
-		swaps: swaps,
+		idx:      idx,
+		ops:      make(chan updateOp, 256),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		swaps:    swaps,
+		snapTime: snapTime,
 	}
 	u.snap.Store(&publishedSnapshot{snap: idx.Snapshot(), gen: 0})
 	go u.loop()
@@ -134,7 +137,9 @@ func (u *updater) loop() {
 			results[i] = u.apply(op)
 		}
 		gen++
+		start := time.Now()
 		u.snap.Store(&publishedSnapshot{snap: u.idx.Snapshot(), gen: gen})
+		u.snapTime.Observe(time.Since(start).Seconds())
 		u.swaps.Inc()
 		// Reply only after the snapshot is published: a client whose
 		// update returned 200 is guaranteed to observe it in subsequent
