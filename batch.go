@@ -1,6 +1,7 @@
 package rangereach
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,39 +19,58 @@ type Query struct {
 // DynamicIndex is not (updates and queries must be externally
 // serialized).
 func (idx *Index) RangeReachBatch(queries []Query, parallelism int) []bool {
+	out, _ := idx.RangeReachBatchContext(context.Background(), queries, parallelism)
+	return out
+}
+
+// RangeReachBatchContext is RangeReachBatch with cancellation: workers
+// check ctx between chunks and stop early, returning ctx.Err() and a
+// nil result slice. A server whose client has disconnected stops
+// burning CPU within one chunk per worker instead of finishing the
+// batch into the void.
+func (idx *Index) RangeReachBatchContext(ctx context.Context, queries []Query, parallelism int) ([]bool, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)
 	}
+	const chunk = 16
 	out := make([]bool, len(queries))
 	if parallelism <= 1 {
-		for i, q := range queries {
-			out[i] = idx.RangeReach(q.Vertex, q.Region)
+		for lo := 0; lo < len(queries); lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := min(lo+chunk, len(queries))
+			for i := lo; i < hi; i++ {
+				q := queries[i]
+				out[i] = idx.RangeReach(q.Vertex, q.Region)
+			}
 		}
-		return out
+		return out, nil
 	}
 	// Work stealing off a single atomic cursor: each worker claims the
 	// next chunk with one AddInt64, no lock on the hot path. Claims may
-	// overshoot len(queries); workers clamp locally.
+	// overshoot len(queries); workers clamp locally. The ctx poll rides
+	// the chunk boundary, so cancellation costs one atomic load per 16
+	// queries.
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	take := func(chunk int) (lo, hi int) {
-		hi = int(next.Add(int64(chunk)))
+	take := func() (lo, hi int) {
+		hi = int(next.Add(chunk))
 		lo = hi - chunk
 		if hi > len(queries) {
 			hi = len(queries)
 		}
 		return lo, hi
 	}
-	const chunk = 16
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				lo, hi := take(chunk)
+			for ctx.Err() == nil {
+				lo, hi := take()
 				if lo >= hi {
 					return
 				}
@@ -62,5 +82,8 @@ func (idx *Index) RangeReachBatch(queries []Query, parallelism int) []bool {
 		}()
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

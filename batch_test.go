@@ -1,8 +1,10 @@
 package rangereach_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	rangereach "repro"
 )
@@ -65,5 +67,39 @@ func TestBatchEdgeCases(t *testing.T) {
 	many := randomQueries(net, 50, 11)
 	if out := idx.RangeReachBatch(many, 0); len(out) != 50 {
 		t.Error("default parallelism wrong")
+	}
+}
+
+// TestBatchContextCancel pins the cancellation contract: a dead
+// context aborts the batch with its error, a live one yields exactly
+// the RangeReachBatch answers.
+func TestBatchContextCancel(t *testing.T) {
+	net := batchNetwork(t)
+	idx := net.MustBuild(rangereach.ThreeDReach)
+	qs := randomQueries(net, 200, 13)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		if out, err := idx.RangeReachBatchContext(ctx, qs, par); err != context.Canceled || out != nil {
+			t.Fatalf("parallelism %d: canceled batch returned (%v, %v), want (nil, context.Canceled)", par, out, err)
+		}
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := idx.RangeReachBatchContext(expired, qs, 4); err != context.DeadlineExceeded {
+		t.Fatalf("expired batch returned %v, want context.DeadlineExceeded", err)
+	}
+
+	want := idx.RangeReachBatch(qs, 1)
+	got, err := idx.RangeReachBatchContext(context.Background(), qs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if got[i] != want[i] {
+			t.Fatalf("live-context result %d differs", i)
+		}
 	}
 }

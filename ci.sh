@@ -39,11 +39,12 @@ if [[ "${1:-}" != "-short" ]]; then
     # work-stealing, dynamic snapshots, parallel-vs-sequential build
     # determinism), the worker pool the parallel build pipeline fans
     # out on, the serving subsystem (snapshot swaps, result cache,
-    # metrics) and the adaptive planner (lock-free coefficient EMA,
+    # metrics), the adaptive planner (lock-free coefficient EMA,
     # pin state, concurrent Auto routing — including the parity suite
-    # in ./internal/core).
+    # in ./internal/core), and the sharded-serving tier (scatter-gather
+    # fan-out, hedging, health mark-down, shard partitioning).
     echo "== go test -race (concurrency surfaces) =="
-    go test -race . ./internal/pool ./internal/server ./internal/metrics ./internal/core ./internal/planner
+    go test -race . ./internal/pool ./internal/server ./internal/metrics ./internal/core ./internal/planner ./internal/router ./internal/shard
 
     # The trace hook sits on every query's hot path; run the overhead
     # benchmark under the race detector so the instrumentation itself is
@@ -84,6 +85,47 @@ if [[ "${1:-}" != "-short" ]]; then
         -datasets weeplaces-like -json /tmp/rrbench-smoke2.json >/dev/null
     go run ./cmd/rrbench -compare BENCH_PR3.json \
         /tmp/rrbench-smoke.json /tmp/rrbench-smoke2.json
+fi
+
+if [[ "${1:-}" != "-short" ]]; then
+    # Sharded-serving smoke: boot a live 2-shard cluster behind
+    # rrrouter and drive it with the open-loop harness for a few
+    # seconds. Any request error fails the gate; the p99 SLO is set far
+    # above healthy latency (~3ms on an idle runner) so only a wedged
+    # cluster trips it.
+    echo "== sharded serving smoke =="
+    SMOKE_DIR=$(mktemp -d /tmp/rr-shard-smoke.XXXXXX)
+    SMOKE_PIDS=""
+    cleanup_smoke() {
+        # shellcheck disable=SC2086
+        [ -n "$SMOKE_PIDS" ] && kill $SMOKE_PIDS 2>/dev/null
+        wait 2>/dev/null
+        rm -rf "$SMOKE_DIR"
+    }
+    trap cleanup_smoke EXIT
+    go build -o "$SMOKE_DIR" ./cmd/rrgen ./cmd/rrserve ./cmd/rrrouter ./cmd/rrload
+    "$SMOKE_DIR/rrgen" -preset gowalla-like -scale 0.2 -seed 3 \
+        -o "$SMOKE_DIR/smoke.gsn" -shards 2 -index 3dreach 2>/dev/null
+    B1=http://127.0.0.1:18741
+    B2=http://127.0.0.1:18742
+    # The ring decides which backend serves which shard; boot each
+    # rrserve with the shard file its placement expects.
+    "$SMOKE_DIR/rrrouter" -shardmap "$SMOKE_DIR/smoke.shardmap.json" \
+        -backends "$B1,$B2" -print-placement | while read -r sid backend; do
+        port=${backend##*:}
+        "$SMOKE_DIR/rrserve" -net "$SMOKE_DIR/smoke.shard$sid.gsn" \
+            -load-index "$SMOKE_DIR/smoke.shard$sid.gsn.idx" \
+            -addr "127.0.0.1:$port" -log off &
+        echo $! >> "$SMOKE_DIR/pids"
+    done
+    SMOKE_PIDS=$(tr '\n' ' ' < "$SMOKE_DIR/pids")
+    "$SMOKE_DIR/rrrouter" -shardmap "$SMOKE_DIR/smoke.shardmap.json" \
+        -backends "$B1,$B2" -addr 127.0.0.1:18740 -log off -wait-backends 30s &
+    SMOKE_PIDS="$SMOKE_PIDS $!"
+    "$SMOKE_DIR/rrload" -target http://127.0.0.1:18740 -rate 200 -duration 3s \
+        -wait 30s -fail-on-error -slo 500ms
+    cleanup_smoke
+    trap - EXIT
 fi
 
 echo "CI OK"

@@ -7,11 +7,17 @@
 //	rrgen -preset foursquare-like -scale 1.0 -seed 1 -o foursquare.gsn
 //	rrgen -users 10000 -venues 5000 -friends 7 -checkins 3 -giant-scc -o custom.gsn
 //	rrgen -preset gowalla-like -o gowalla.gsn -index 3dreach -j 4
+//	rrgen -preset gowalla-like -o gowalla.gsn -shards 4 -index 3dreach
 //
 // -index additionally builds and persists a ready-to-serve index over
 // the generated network (rrserve -load-index skips the build on
 // startup); -j bounds the build workers — the emitted index bytes are
 // identical at any setting.
+//
+// -shards partitions the network for sharded serving behind rrrouter:
+// <stem>.shard<i>.gsn files (each the full social graph with one venue
+// partition kept spatial) plus a <stem>.shardmap.json topology file;
+// combined with -index every shard also gets a prebuilt .idx.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	rangereach "repro"
 	"repro/internal/dataset"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -46,6 +53,8 @@ func main() {
 		indexM   = flag.String("index", "", "also build and persist an index of this method (3dreach, 3dreach-rev, socreach, spareach-bfl, spareach-int, georeach, auto)")
 		indexO   = flag.String("index-o", "", "output file for the persisted index (default: <o>.idx; requires -o)")
 		buildJ   = flag.Int("j", 0, "worker bound for the -index build (0 = all CPUs, 1 = sequential; output is identical at any setting)")
+		shards   = flag.Int("shards", 0, "also partition into this many shard networks for rrrouter (requires -o)")
+		shardBy  = flag.String("shard-strategy", "spatial", "shard partitioner: spatial (z-order grid runs), social (SCC components)")
 	)
 	flag.Parse()
 
@@ -103,6 +112,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rrgen: -index requires -o")
 			os.Exit(2)
 		}
+		if *shards > 0 {
+			fmt.Fprintln(os.Stderr, "rrgen: -shards requires -o")
+			os.Exit(2)
+		}
 		if err := dataset.Save(os.Stdout, net); err != nil {
 			fmt.Fprintf(os.Stderr, "rrgen: %v\n", err)
 			os.Exit(1)
@@ -119,6 +132,53 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *shards > 0 {
+		if err := emitShards(net, *out, *shards, *shardBy, *indexM, *buildJ); err != nil {
+			fmt.Fprintf(os.Stderr, "rrgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// emitShards partitions the network for sharded serving: each shard is
+// a full copy of the social graph with only its assigned venues kept
+// spatial, written as <stem>.shard<i>.gsn, plus <stem>.shardmap.json
+// describing the topology for rrrouter. With -index, each shard also
+// gets a prebuilt <stem>.shard<i>.gsn.idx so the serving processes
+// skip their startup builds.
+func emitShards(net *dataset.Network, out string, n int, strategyName, indexM string, buildJ int) error {
+	strategy, err := shard.ParseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	asn, err := shard.Partition(net, n, strategy)
+	if err != nil {
+		return err
+	}
+	stem := strings.TrimSuffix(out, ".gsn")
+	for i := 0; i < n; i++ {
+		snet, err := asn.ShardNetwork(net, i)
+		if err != nil {
+			return err
+		}
+		path := fmt.Sprintf("%s.shard%d.gsn", stem, i)
+		if err := dataset.SaveFile(path, snet); err != nil {
+			return err
+		}
+		if indexM != "" {
+			if err := emitIndex(path, indexM, "", buildJ); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	mapPath := stem + ".shardmap.json"
+	m := asn.Map(net.Name, net.NumVertices(), net.Space())
+	if err := shard.SaveMapFile(mapPath, m); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rrgen: %d %s shards written to %s.shard*.gsn, map %s\n",
+		n, strategy, stem, mapPath)
+	return nil
 }
 
 // emitIndex builds the requested index over the just-written network

@@ -1,0 +1,372 @@
+// Command rrload is an open-loop load harness for rrrouter and rrserve.
+// It fires /v1/query requests on a fixed schedule — arrivals do not
+// wait for earlier responses — and measures each latency from the
+// request's *intended* send time, so a stalled server inflates the
+// reported percentiles instead of silently slowing the offered rate
+// (no coordinated omission).
+//
+// Usage:
+//
+//	rrload -target http://127.0.0.1:8080 -rate 500 -duration 30s
+//	rrload -target ... -zipf-s 1.3 -hot-frac 0.5 -slo 50ms -fail-on-error
+//
+// The workload skews like production traffic: vertex popularity is
+// zipfian (a random rank-to-vertex mapping keeps hot vertices spread
+// across the id space) and -hot-frac sends that fraction of queries
+// into a small hot sub-region of the space. Vertex count and spatial
+// extent are discovered from the target's /healthz and can be
+// overridden with -vertices / -space.
+//
+// Exit status: 0 on success, 1 when -slo is exceeded or -fail-on-error
+// saw request errors, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type queryBody struct {
+	Vertex int        `json:"vertex"`
+	Region [4]float64 `json:"region"`
+}
+
+type report struct {
+	Target        string        `json:"target"`
+	Rate          float64       `json:"rate_rps"`
+	Duration      time.Duration `json:"duration_ns"`
+	Sent          int           `json:"sent"`
+	OK            int           `json:"ok"`
+	Errors        int           `json:"errors"`
+	Positives     int           `json:"positives"`
+	AchievedRate  float64       `json:"achieved_rps"`
+	Latency       summary       `json:"latency"`
+	MaxSchedLag   time.Duration `json:"max_sched_lag_ns"`
+	SLO           time.Duration `json:"slo_ns,omitempty"`
+	SLOViolated   bool          `json:"slo_violated"`
+	ErrorExamples []string      `json:"error_examples,omitempty"`
+}
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8080", "rrrouter or rrserve base URL")
+		rate     = flag.Float64("rate", 200, "offered request rate per second (open loop)")
+		duration = flag.Duration("duration", 10*time.Second, "test length")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		vertices = flag.Int("vertices", 0, "vertex id space (0 = discover from /healthz)")
+		spaceStr = flag.String("space", "", "query space minx,miny,maxx,maxy (default: discover from /healthz)")
+		extent   = flag.Float64("extent", 0.05, "query region side length as a fraction of the space")
+		zipfS    = flag.Float64("zipf-s", 1.2, "zipf exponent for vertex popularity (must be > 1)")
+		hotFrac  = flag.Float64("hot-frac", 0, "fraction of queries aimed at the hot sub-region")
+		hotSize  = flag.Float64("hot-size", 0.1, "hot sub-region side length as a fraction of the space")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		wait     = flag.Duration("wait", 0, "poll target /healthz for up to this long before starting")
+		slo      = flag.Duration("slo", 0, "exit 1 when p99 latency exceeds this (0 disables)")
+		failErr  = flag.Bool("fail-on-error", false, "exit 1 when any request fails")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
+	)
+	flag.Parse()
+
+	if *rate <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "rrload: -rate and -duration must be positive")
+		os.Exit(2)
+	}
+	if *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "rrload: -zipf-s must be > 1")
+		os.Exit(2)
+	}
+	base := strings.TrimRight(*target, "/")
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	if *wait > 0 {
+		if err := waitHealthy(client, base, *wait); err != nil {
+			fmt.Fprintf(os.Stderr, "rrload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	nv, space, err := discover(client, base, *vertices, *spaceStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrload: %v\n", err)
+		os.Exit(1)
+	}
+
+	payloads := buildPayloads(workload{
+		vertices: nv,
+		space:    space,
+		extent:   *extent,
+		zipfS:    *zipfS,
+		hotFrac:  *hotFrac,
+		hotSize:  *hotSize,
+		seed:     *seed,
+		n:        int(*rate * duration.Seconds()),
+	})
+	if len(payloads) == 0 {
+		fmt.Fprintln(os.Stderr, "rrload: rate*duration yields zero requests")
+		os.Exit(2)
+	}
+
+	rep := run(client, base+"/v1/query", payloads, *rate)
+	rep.Target = base
+	rep.Rate = *rate
+	rep.Duration = *duration
+	rep.SLO = *slo
+	rep.SLOViolated = *slo > 0 && rep.Latency.P99 > *slo
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Print(formatReport(rep))
+	}
+
+	switch {
+	case rep.SLOViolated:
+		fmt.Fprintf(os.Stderr, "rrload: SLO violated: p99 %v > %v\n", rep.Latency.P99, *slo)
+		os.Exit(1)
+	case *failErr && rep.Errors > 0:
+		fmt.Fprintf(os.Stderr, "rrload: %d request errors\n", rep.Errors)
+		os.Exit(1)
+	}
+}
+
+// workload parameterizes payload generation.
+type workload struct {
+	vertices int
+	space    [4]float64
+	extent   float64
+	zipfS    float64
+	hotFrac  float64
+	hotSize  float64
+	seed     int64
+	n        int
+}
+
+// buildPayloads pre-marshals every request body so the hot loop does no
+// allocation-heavy JSON work that would distort latency measurements.
+func buildPayloads(w workload) [][]byte {
+	rng := rand.New(rand.NewSource(w.seed))
+	zipf := rand.NewZipf(rng, w.zipfS, 1, uint64(w.vertices-1))
+	// The zipf draw returns a popularity *rank*; a random permutation
+	// maps ranks to vertex ids so the hot set is not just ids 0..k.
+	rankToVertex := rng.Perm(w.vertices)
+
+	width := w.space[2] - w.space[0]
+	height := w.space[3] - w.space[1]
+	rw, rh := width*w.extent, height*w.extent
+	// Hot region anchored at a random offset, once per run.
+	hw, hh := width*w.hotSize, height*w.hotSize
+	hx := w.space[0] + rng.Float64()*(width-hw)
+	hy := w.space[1] + rng.Float64()*(height-hh)
+
+	payloads := make([][]byte, w.n)
+	for i := range payloads {
+		var x, y float64
+		if rng.Float64() < w.hotFrac {
+			x = hx + rng.Float64()*(hw-min(rw, hw))
+			y = hy + rng.Float64()*(hh-min(rh, hh))
+		} else {
+			x = w.space[0] + rng.Float64()*(width-rw)
+			y = w.space[1] + rng.Float64()*(height-rh)
+		}
+		body, err := json.Marshal(queryBody{
+			Vertex: rankToVertex[int(zipf.Uint64())],
+			Region: [4]float64{x, y, x + rw, y + rh},
+		})
+		if err != nil {
+			panic(err) // struct marshal cannot fail
+		}
+		payloads[i] = body
+	}
+	return payloads
+}
+
+// run fires payloads on the open-loop schedule and aggregates results.
+// Each request's latency clock starts at its scheduled send time: if
+// the harness (or the server) falls behind, the delay is charged to the
+// measurement rather than hidden by a slowed arrival rate.
+func run(client *http.Client, url string, payloads [][]byte, rate float64) report {
+	interval := time.Duration(float64(time.Second) / rate)
+	type outcome struct {
+		latency time.Duration
+		lag     time.Duration
+		ok      bool
+		pos     bool
+		errMsg  string
+	}
+	results := make([]outcome, len(payloads))
+	start := time.Now().Add(50 * time.Millisecond) // headroom so request 0 is not late by construction
+	var wg sync.WaitGroup
+	for i := range payloads {
+		sched := start.Add(time.Duration(i) * interval)
+		time.Sleep(time.Until(sched))
+		wg.Add(1)
+		go func(i int, sched time.Time) {
+			defer wg.Done()
+			results[i].lag = time.Since(sched)
+			resp, err := client.Post(url, "application/json", bytes.NewReader(payloads[i]))
+			if err != nil {
+				results[i].latency = time.Since(sched)
+				results[i].errMsg = err.Error()
+				return
+			}
+			var qr struct {
+				Reachable bool `json:"reachable"`
+			}
+			decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&qr)
+			_ = resp.Body.Close()
+			results[i].latency = time.Since(sched)
+			switch {
+			case resp.StatusCode != http.StatusOK:
+				results[i].errMsg = "status " + strconv.Itoa(resp.StatusCode)
+			case decErr != nil:
+				results[i].errMsg = "decode: " + decErr.Error()
+			default:
+				results[i].ok = true
+				results[i].pos = qr.Reachable
+			}
+		}(i, sched)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{Sent: len(payloads)}
+	latencies := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		latencies = append(latencies, r.latency)
+		if r.lag > rep.MaxSchedLag {
+			rep.MaxSchedLag = r.lag
+		}
+		switch {
+		case r.ok:
+			rep.OK++
+			if r.pos {
+				rep.Positives++
+			}
+		default:
+			rep.Errors++
+			if len(rep.ErrorExamples) < 3 {
+				rep.ErrorExamples = append(rep.ErrorExamples, r.errMsg)
+			}
+		}
+	}
+	rep.Latency = summarize(latencies)
+	if wall > 0 {
+		rep.AchievedRate = float64(len(payloads)) / wall.Seconds()
+	}
+	return rep
+}
+
+func formatReport(r report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target     %s\n", r.Target)
+	fmt.Fprintf(&b, "offered    %.0f req/s for %v (%d requests)\n", r.Rate, r.Duration, r.Sent)
+	fmt.Fprintf(&b, "achieved   %.1f req/s\n", r.AchievedRate)
+	fmt.Fprintf(&b, "ok         %d (%d positive)\n", r.OK, r.Positives)
+	fmt.Fprintf(&b, "errors     %d\n", r.Errors)
+	for _, e := range r.ErrorExamples {
+		fmt.Fprintf(&b, "  e.g. %s\n", e)
+	}
+	fmt.Fprintf(&b, "latency    p50=%v p95=%v p99=%v p999=%v max=%v\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.P999, r.Latency.Max)
+	fmt.Fprintf(&b, "sched lag  max=%v\n", r.MaxSchedLag)
+	if r.SLO > 0 {
+		verdict := "met"
+		if r.SLOViolated {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "slo        p99 <= %v: %s\n", r.SLO, verdict)
+	}
+	return b.String()
+}
+
+// discover fills vertex count and space extent from the target's
+// /healthz, honoring explicit flag overrides. rrrouter reports both;
+// plain rrserve reports only the vertex count, so -space is required
+// when load-testing a single shard directly.
+func discover(client *http.Client, base string, vertices int, spaceStr string) (int, [4]float64, error) {
+	var space [4]float64
+	haveSpace := false
+	if spaceStr != "" {
+		parts := strings.Split(spaceStr, ",")
+		if len(parts) != 4 {
+			return 0, space, fmt.Errorf("-space wants minx,miny,maxx,maxy, got %q", spaceStr)
+		}
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return 0, space, fmt.Errorf("-space: %v", err)
+			}
+			space[i] = v
+		}
+		haveSpace = true
+	}
+	if vertices > 0 && haveSpace {
+		return vertices, space, nil
+	}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, space, fmt.Errorf("discover: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return 0, space, fmt.Errorf("discover: healthz status %d", resp.StatusCode)
+	}
+	var hz struct {
+		Vertices int        `json:"vertices"`
+		Space    [4]float64 `json:"space"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hz); err != nil {
+		return 0, space, fmt.Errorf("discover: %v", err)
+	}
+	if vertices <= 0 {
+		vertices = hz.Vertices
+	}
+	if !haveSpace {
+		space = hz.Space
+	}
+	if vertices <= 0 {
+		return 0, space, fmt.Errorf("target did not report a vertex count; pass -vertices")
+	}
+	if space[2] <= space[0] || space[3] <= space[1] {
+		return 0, space, fmt.Errorf("target did not report a usable space extent; pass -space")
+	}
+	return vertices, space, nil
+}
+
+func waitHealthy(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("target not healthy after %v", budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

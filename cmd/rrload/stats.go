@@ -1,0 +1,58 @@
+package main
+
+import (
+	"sort"
+	"time"
+)
+
+// summary holds exact latency percentiles computed from the full
+// sample set — no histogram buckets, no approximation, since the
+// harness keeps every sample in memory anyway.
+type summary struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// summarize sorts samples in place and extracts the percentile set.
+// Empty input yields a zero summary.
+func summarize(samples []time.Duration) summary {
+	if len(samples) == 0 {
+		return summary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	return summary{
+		Count: len(samples),
+		Mean:  total / time.Duration(len(samples)),
+		P50:   percentile(samples, 0.50),
+		P95:   percentile(samples, 0.95),
+		P99:   percentile(samples, 0.99),
+		P999:  percentile(samples, 0.999),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+// percentile returns the exact q-quantile of a sorted sample set using
+// the nearest-rank method: the smallest value such that at least q of
+// the samples are <= it.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*q+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := summarize(nil)
+	if s.Count != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	// 1ms..1000ms: nearest-rank percentiles are exactly identifiable.
+	samples := make([]time.Duration, 1000)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := summarize(samples)
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	want := map[string][2]time.Duration{
+		"p50":  {s.P50, 500 * time.Millisecond},
+		"p95":  {s.P95, 950 * time.Millisecond},
+		"p99":  {s.P99, 990 * time.Millisecond},
+		"p999": {s.P999, 999 * time.Millisecond},
+		"max":  {s.Max, 1000 * time.Millisecond},
+	}
+	for name, pair := range want {
+		if pair[0] != pair[1] {
+			t.Errorf("%s = %v, want %v", name, pair[0], pair[1])
+		}
+	}
+	if s.Mean != 500500*time.Microsecond {
+		t.Errorf("mean = %v, want 500.5ms", s.Mean)
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	s := summarize([]time.Duration{7 * time.Millisecond})
+	if s.P50 != 7*time.Millisecond || s.P999 != 7*time.Millisecond || s.Max != 7*time.Millisecond {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeUnsortedInput(t *testing.T) {
+	s := summarize([]time.Duration{30, 10, 20})
+	if s.P50 != 20 || s.Max != 30 {
+		t.Fatalf("unsorted input mishandled: %+v", s)
+	}
+}

@@ -66,6 +66,7 @@ func main() {
 		cacheN    = flag.Int("cache", 4096, "result cache entries (negative disables)")
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request budget")
 		par       = flag.Int("parallelism", 0, "static batch fan-out (0 = GOMAXPROCS)")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes; oversized bodies get 413 (negative disables)")
 		buildJ    = flag.Int("j", 0, "worker bound for the index build (0 = all CPUs, 1 = sequential; the built index is identical at any setting)")
 		logMode   = flag.String("log", "text", "request log format: text, json, off")
 		slowQ     = flag.Duration("slow-query", 250*time.Millisecond, "elevate slower requests to warnings (0 disables)")
@@ -91,6 +92,7 @@ func main() {
 		CacheEntries: *cacheN,
 		QueryTimeout: *timeout,
 		Parallelism:  *par,
+		MaxBodyBytes: *maxBody,
 		Logger:       logger,
 		SlowQuery:    *slowQ,
 		TraceSample:  *traceN,

@@ -1,0 +1,226 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	rangereach "repro"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// e2eCluster is a live sharded deployment inside one process: real
+// indexes behind real internal/server handlers, fronted by a Router,
+// next to the unsharded oracle index built from the same network.
+type e2eCluster struct {
+	router   *Router
+	handler  http.Handler
+	oracle   *rangereach.Index
+	vertices int
+	space    rangereach.Rect
+}
+
+// newE2ECluster partitions net into nShards, builds one index per shard
+// network (round-tripped through the on-disk format, exactly as rrgen
+// and rrserve would), places shards on backends via the ring, and
+// returns the cluster.
+func newE2ECluster(t *testing.T, net *dataset.Network, nShards int, strategy shard.Strategy, method rangereach.Method) *e2eCluster {
+	t.Helper()
+	dir := t.TempDir()
+
+	fullPath := filepath.Join(dir, "full.gsn")
+	if err := dataset.SaveFile(fullPath, net); err != nil {
+		t.Fatal(err)
+	}
+	full, err := rangereach.LoadNetwork(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := full.Build(method)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asn, err := shard.Partition(net, nShards, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := asn.Map(net.Name, net.NumVertices(), net.Space())
+
+	// Backends first (their URLs seed the ring), shard handlers second,
+	// installed wherever the ring placed each shard.
+	swaps := make([]*swapHandler, nShards)
+	urls := make([]string, nShards)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	rt, err := New(Config{Map: m, Backends: urls, Policy: PolicyFail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	byURL := make(map[string]*swapHandler, nShards)
+	for i, u := range urls {
+		byURL[u] = swaps[i]
+	}
+	for sid := 0; sid < nShards; sid++ {
+		snet, err := asn.ShardNetwork(net, sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spath := filepath.Join(dir, fmt.Sprintf("shard%d.gsn", sid))
+		if err := dataset.SaveFile(spath, snet); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := rangereach.LoadNetwork(spath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := loaded.Build(method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Index: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		byURL[rt.BackendFor(sid)].set(srv.Handler())
+	}
+	return &e2eCluster{
+		router:   rt,
+		handler:  rt.Handler(),
+		oracle:   oracle,
+		vertices: net.NumVertices(),
+		space:    full.Space(),
+	}
+}
+
+// queries draws a randomized suite: vertices uniform over the id space,
+// regions from tiny single-shard rectangles up to 60% of the space
+// (guaranteed to span multiple spatial shards), plus the whole space.
+func (c *e2eCluster) queries(rng *rand.Rand, n int) []queryRequest {
+	extents := []float64{0.01, 0.05, 0.2, 0.6}
+	w := c.space.MaxX - c.space.MinX
+	h := c.space.MaxY - c.space.MinY
+	out := make([]queryRequest, 0, n+1)
+	for i := 0; i < n; i++ {
+		frac := extents[i%len(extents)]
+		rw, rh := w*frac, h*frac
+		x := c.space.MinX + rng.Float64()*(w-rw)
+		y := c.space.MinY + rng.Float64()*(h-rh)
+		out = append(out, queryRequest{
+			Vertex: rng.Intn(c.vertices),
+			Region: [4]float64{x, y, x + rw, y + rh},
+		})
+	}
+	out = append(out, queryRequest{
+		Vertex: rng.Intn(c.vertices),
+		Region: [4]float64{c.space.MinX, c.space.MinY, c.space.MaxX, c.space.MaxY},
+	})
+	return out
+}
+
+func e2eNetwork() *dataset.Network {
+	return dataset.Generate(dataset.GenConfig{
+		Name:        "e2e",
+		Users:       500,
+		Venues:      250,
+		AvgFriends:  6,
+		AvgCheckins: 3,
+		Regime:      dataset.Fragmented,
+		Clusters:    20,
+		Seed:        11,
+	})
+}
+
+// TestShardedClusterMatchesUnsharded is the end-to-end acceptance test:
+// a >=3-shard cluster served through the router answers every query —
+// single and batch, including regions spanning multiple shards —
+// identically to one unsharded index.
+func TestShardedClusterMatchesUnsharded(t *testing.T) {
+	net := e2eNetwork()
+	for _, strategy := range []shard.Strategy{shard.Spatial, shard.Social} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			c := newE2ECluster(t, net, 3, strategy, rangereach.ThreeDReach)
+			rng := rand.New(rand.NewSource(99))
+			queries := c.queries(rng, 150)
+
+			positives := 0
+			for i, q := range queries {
+				rec, resp := postQuery(t, c.handler, q.Vertex, q.Region)
+				if rec.Code != http.StatusOK {
+					t.Fatalf("query %d: status %d: %s", i, rec.Code, rec.Body.String())
+				}
+				want := c.oracle.RangeReach(q.Vertex, rangereach.NewRect(q.Region[0], q.Region[1], q.Region[2], q.Region[3]))
+				if resp.Reachable != want {
+					t.Fatalf("query %d (vertex %d region %v): sharded=%v unsharded=%v",
+						i, q.Vertex, q.Region, resp.Reachable, want)
+				}
+				if want {
+					positives++
+				}
+			}
+			if positives == 0 || positives == len(queries) {
+				t.Fatalf("degenerate suite: %d/%d positive — the comparison proves nothing", positives, len(queries))
+			}
+
+			rec, batch := postBatch(t, c.handler, queries)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("batch: status %d: %s", rec.Code, rec.Body.String())
+			}
+			if batch.Partial {
+				t.Fatal("batch flagged partial on a healthy cluster")
+			}
+			for i, q := range queries {
+				want := c.oracle.RangeReach(q.Vertex, rangereach.NewRect(q.Region[0], q.Region[1], q.Region[2], q.Region[3]))
+				if batch.Results[i] != want {
+					t.Fatalf("batch query %d: sharded=%v unsharded=%v", i, batch.Results[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedClusterFiveShards stresses the placement and merge paths
+// at a shard count that does not divide the backend count evenly.
+func TestShardedClusterFiveShards(t *testing.T) {
+	net := e2eNetwork()
+	c := newE2ECluster(t, net, 5, shard.Spatial, rangereach.SocReach)
+	rng := rand.New(rand.NewSource(7))
+	queries := c.queries(rng, 60)
+	rec, batch := postBatch(t, c.handler, queries)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", rec.Code, rec.Body.String())
+	}
+	for i, q := range queries {
+		want := c.oracle.RangeReach(q.Vertex, rangereach.NewRect(q.Region[0], q.Region[1], q.Region[2], q.Region[3]))
+		if batch.Results[i] != want {
+			t.Fatalf("query %d: sharded=%v unsharded=%v", i, batch.Results[i], want)
+		}
+	}
+}
+
+// TestShardedExplainParity spot-checks that shard servers accept the
+// exact wire bytes the router sends (contract drift between the two
+// packages' request structs would surface here).
+func TestShardedWireContract(t *testing.T) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(queryRequest{Vertex: 3, Region: [4]float64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"vertex":3,"region":[1,2,3,4]}`
+	if got := bytes.TrimSpace(buf.Bytes()); string(got) != want {
+		t.Fatalf("query wire format drifted: %s", got)
+	}
+}

@@ -1,0 +1,82 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// health tracks one shard's availability from the router's own traffic
+// (passive health checking): DownAfter consecutive failures mark the
+// shard down for Cooldown. While down, calls are not attempted — the
+// partial-failure policy decides what the caller sees instead. After
+// the cooldown one trial request is let through (half-open); its
+// outcome either closes the breaker or re-arms the cooldown.
+type health struct {
+	mu        sync.Mutex
+	fails     int       // consecutive failures
+	downUntil time.Time // zero when up
+	probing   bool      // a half-open trial is in flight
+	down      bool      // currently marked down (for the gauge)
+
+	downAfter int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+}
+
+func newHealth(downAfter int, cooldown time.Duration, now func() time.Time) *health {
+	if downAfter <= 0 {
+		downAfter = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &health{downAfter: downAfter, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request to the shard may proceed. A shard in
+// cooldown refuses; once the cooldown elapses exactly one caller gets a
+// half-open trial until report settles it.
+func (h *health) allow() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.down {
+		return true
+	}
+	if h.now().Before(h.downUntil) || h.probing {
+		return false
+	}
+	h.probing = true
+	return true
+}
+
+// report records a call outcome. Success resets the breaker; failure
+// counts toward the mark-down threshold and re-arms the cooldown when
+// the shard was half-open or crosses the threshold.
+func (h *health) report(ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.probing = false
+	if ok {
+		h.fails = 0
+		h.down = false
+		h.downUntil = time.Time{}
+		return
+	}
+	h.fails++
+	if h.fails >= h.downAfter {
+		h.down = true
+		h.downUntil = h.now().Add(h.cooldown)
+	}
+}
+
+// isDown reports the mark-down state (for the gauge and healthz). A
+// shard stays "down" through its half-open phase until a success closes
+// the breaker.
+func (h *health) isDown() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down
+}

@@ -1,0 +1,101 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over backend addresses with virtual
+// nodes, used to place shards on backends. Placement is by consistent
+// hashing with bounded loads: a shard walks the ring clockwise from its
+// hash and lands on the first backend still under the load cap
+// ceil(shards/backends). The cap guarantees an even spread — with equal
+// shard and backend counts every backend serves exactly one shard —
+// while keeping the consistent-hashing property that adding or removing
+// a backend relocates only the shards that hashed near it.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int // index into the backend list
+}
+
+// DefaultVNodes is the virtual-node count per backend: enough to keep
+// ring arcs well mixed at the cluster sizes rrrouter targets.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over the given backends (identified by index)
+// with vnodes virtual nodes each (0 selects DefaultVNodes).
+func NewRing(backends []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(backends)*vnodes)}
+	for i, b := range backends {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("%s#%d", b, v)),
+				backend: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Place assigns each of n shards to a backend index under the bounded
+// load cap. The result maps shard id to backend index; it is
+// deterministic for a given (backends, vnodes, n).
+func (r *Ring) Place(n, backends int) []int {
+	if len(r.points) == 0 || backends <= 0 {
+		return nil
+	}
+	maxLoad := (n + backends - 1) / backends
+	load := make([]int, backends)
+	out := make([]int, n)
+	for shard := 0; shard < n; shard++ {
+		h := hash64(fmt.Sprintf("shard-%d", shard))
+		i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+		assigned := -1
+		for step := 0; step < len(r.points); step++ {
+			p := r.points[(i+step)%len(r.points)]
+			if load[p.backend] < maxLoad {
+				assigned = p.backend
+				break
+			}
+		}
+		if assigned < 0 {
+			// Unreachable: the cap times backends is at least n.
+			assigned = shard % backends
+		}
+		load[assigned]++
+		out[shard] = assigned
+	}
+	return out
+}
+
+// Placement maps every shard id of a cluster with n shards to its
+// backend address.
+func Placement(n int, backends []string, vnodes int) []string {
+	ring := NewRing(backends, vnodes)
+	idx := ring.Place(n, len(backends))
+	out := make([]string, n)
+	for shard, b := range idx {
+		out[shard] = backends[b]
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPlacementCoversEveryShard(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	p := Placement(9, backends, 0)
+	if len(p) != 9 {
+		t.Fatalf("placement has %d entries, want 9", len(p))
+	}
+	load := map[string]int{}
+	for shard, b := range p {
+		found := false
+		for _, known := range backends {
+			if b == known {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("shard %d placed on unknown backend %q", shard, b)
+		}
+		load[b]++
+	}
+	// Bounded loads: 9 shards over 3 backends = exactly 3 each.
+	for b, n := range load {
+		if n != 3 {
+			t.Fatalf("backend %s got %d shards, want 3 (load %v)", b, n, load)
+		}
+	}
+}
+
+func TestPlacementPerfectMatchingAtEqualCounts(t *testing.T) {
+	// With as many backends as shards the load bound is 1: every
+	// backend serves exactly one shard, which is what lets one rrserve
+	// process hold one shard index.
+	for n := 1; n <= 8; n++ {
+		backends := make([]string, n)
+		for i := range backends {
+			backends[i] = fmt.Sprintf("http://b%d:80", i)
+		}
+		p := Placement(n, backends, 0)
+		seen := map[string]bool{}
+		for shard, b := range p {
+			if seen[b] {
+				t.Fatalf("n=%d: backend %s serves two shards (%v)", n, b, p)
+			}
+			seen[b] = true
+			_ = shard
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1"}
+	p1 := Placement(6, backends, 32)
+	p2 := Placement(6, backends, 32)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("placement not deterministic at shard %d: %q vs %q", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestPlacementStability(t *testing.T) {
+	// Consistent hashing: dropping one backend of four must not move
+	// shards between the surviving backends more than the load bound
+	// forces. Measure how many shards stay put; re-sharding from
+	// scratch would keep ~1/4 on average, the ring should keep most of
+	// the survivors' shards.
+	backends := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	const shards = 32
+	before := Placement(shards, backends, 0)
+	after := Placement(shards, backends[:3], 0)
+	stayed := 0
+	for i := range before {
+		if before[i] == "http://d:1" {
+			continue // had to move
+		}
+		if before[i] == after[i] {
+			stayed++
+		}
+	}
+	survivors := 0
+	for i := range before {
+		if before[i] != "http://d:1" {
+			survivors++
+		}
+	}
+	// The bounded-load cap rises from 8 to 11 after the removal, so a
+	// few survivors may shift; requiring half to stay put separates a
+	// consistent ring from rehash-everything while staying robust to
+	// hash luck.
+	if stayed < survivors/2 {
+		t.Fatalf("only %d of %d surviving shards stayed put; placement is not consistent", stayed, survivors)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Place(3, 0); got != nil {
+		t.Fatalf("empty ring placed shards: %v", got)
+	}
+}

@@ -1,0 +1,716 @@
+// Package router implements the rrrouter tier of sharded RangeReach
+// serving: an HTTP front that fans each query out to the rrserve shard
+// processes holding the venue partition (internal/shard) and
+// OR-combines their answers.
+//
+// Because the shards partition the venue set while sharing the global
+// vertex-id space, the router needs no vertex translation and the
+// scatter-gather combine is exact: a query is positive iff some shard
+// answers positively. That shape drives the whole design:
+//
+//   - Spatial pruning: shards whose venue bounds miss the query region
+//     cannot answer positively and are never called.
+//   - Early exit: the first positive shard answer settles the query;
+//     the remaining in-flight shard calls are canceled.
+//   - Partial failure: a positive from any live shard is exact even if
+//     other shards are down. Only all-negative answers depend on every
+//     shard; the Policy decides whether those fail (PolicyFail) or
+//     degrade to a flagged, possibly-false negative (PolicyDegrade).
+//
+// Placement is by consistent hashing with bounded loads (see Ring);
+// per-shard health is tracked passively with mark-down and half-open
+// recovery (see health); slow shards are hedged with a second request
+// after Config.Hedge.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// Policy selects what an all-negative answer with failed shards
+// becomes.
+type Policy int
+
+const (
+	// PolicyFail answers 502 when a needed shard cannot be reached and
+	// no live shard answered positively. Never returns a wrong answer.
+	PolicyFail Policy = iota
+	// PolicyDegrade treats unreachable shards as negative and flags the
+	// response partial — availability over completeness.
+	PolicyDegrade
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFail:
+		return "fail"
+	case PolicyDegrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves the textual policy names used by flags.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "fail":
+		return PolicyFail, nil
+	case "degrade":
+		return PolicyDegrade, nil
+	default:
+		return 0, fmt.Errorf("router: unknown partial-failure policy %q (want fail or degrade)", name)
+	}
+}
+
+// Config assembles a Router.
+type Config struct {
+	// Map is the cluster topology (required).
+	Map *shard.Map
+	// Backends are the rrserve base URLs shards are placed on via the
+	// consistent-hash ring (required, at least one).
+	Backends []string
+	// VNodes is the ring's virtual-node count per backend (0 selects
+	// DefaultVNodes).
+	VNodes int
+	// ShardTimeout bounds each shard call (default 2s).
+	ShardTimeout time.Duration
+	// Hedge launches a second identical shard request when the first
+	// has not answered after this long; the first answer wins. Zero
+	// disables hedging.
+	Hedge time.Duration
+	// Policy is the partial-failure policy (default PolicyFail).
+	Policy Policy
+	// MaxBatch caps the queries accepted per batch request (default
+	// 8192).
+	MaxBatch int
+	// MaxBodyBytes caps request bodies; oversized bodies get 413
+	// (default 8 MiB, negative disables).
+	MaxBodyBytes int64
+	// DownAfter marks a shard down after this many consecutive
+	// failures (default 3).
+	DownAfter int
+	// DownCooldown is how long a marked-down shard is skipped before a
+	// half-open trial (default 2s).
+	DownCooldown time.Duration
+	// Logger receives one structured record per request. Nil disables.
+	Logger *slog.Logger
+	// Transport overrides the outbound HTTP transport (tests); nil
+	// selects a pooled transport with per-backend connection reuse.
+	Transport http.RoundTripper
+}
+
+// Router is the scatter-gather front. Create with New, expose via
+// Handler, Close when done to release idle backend connections.
+type Router struct {
+	cfg       Config
+	mux       *http.ServeMux
+	client    *http.Client
+	backendOf []string // shard id -> backend base URL
+	bounds    []geom.Rect
+	health    []*health
+
+	reg        *metrics.Registry
+	mReqQuery  *metrics.Counter
+	mReqBatch  *metrics.Counter
+	mReqErrs   *metrics.Counter
+	mEarlyExit *metrics.Counter
+	mHedges    *metrics.Counter
+	mPruned    *metrics.Counter
+	mInflight  *metrics.Gauge
+	mLatency   *metrics.Histogram
+	mShardReqs []*metrics.Counter
+	mShardErrs []*metrics.Counter
+	mShardLat  []*metrics.Histogram
+
+	reqID atomic.Uint64
+}
+
+// New builds a Router over the shard map and backend set.
+func New(cfg Config) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, errors.New("router: Config.Map is required")
+	}
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: Config.Backends must name at least one rrserve base URL")
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 2 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8192
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	n := cfg.Map.NumShards()
+	rt := &Router{
+		cfg:       cfg,
+		backendOf: Placement(n, cfg.Backends, cfg.VNodes),
+		bounds:    make([]geom.Rect, n),
+		health:    make([]*health, n),
+		reg:       metrics.NewRegistry(),
+	}
+	for i, s := range cfg.Map.Shards {
+		rt.bounds[i] = s.BoundsRect()
+		rt.health[i] = newHealth(cfg.DownAfter, cfg.DownCooldown, nil)
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        4 * n,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	rt.client = &http.Client{Transport: transport}
+
+	rt.mReqQuery = rt.reg.Counter(`rr_router_requests_total{endpoint="query"}`, "Router HTTP requests by endpoint.")
+	rt.mReqBatch = rt.reg.Counter(`rr_router_requests_total{endpoint="batch"}`, "Router HTTP requests by endpoint.")
+	rt.mReqErrs = rt.reg.Counter("rr_router_request_errors_total", "Router requests answered with a non-2xx status.")
+	rt.mEarlyExit = rt.reg.Counter("rr_router_early_exits_total", "Scatter-gathers settled by a positive before every shard answered.")
+	rt.mHedges = rt.reg.Counter("rr_router_hedged_requests_total", "Hedged second attempts launched against slow shards.")
+	rt.mPruned = rt.reg.Counter("rr_router_pruned_shards_total", "Shard calls skipped because the shard's venue bounds miss the query region.")
+	rt.mInflight = rt.reg.Gauge("rr_router_inflight_requests", "Router requests currently being served.")
+	rt.mLatency = rt.reg.Histogram("rr_router_query_seconds", "End-to-end latency of router query and batch requests.", nil)
+	rt.mShardReqs = make([]*metrics.Counter, n)
+	rt.mShardErrs = make([]*metrics.Counter, n)
+	rt.mShardLat = make([]*metrics.Histogram, n)
+	for i := 0; i < n; i++ {
+		rt.mShardReqs[i] = rt.reg.Counter(
+			fmt.Sprintf(`rr_router_shard_requests_total{shard="%d"}`, i),
+			"Shard calls attempted, by shard.")
+		rt.mShardErrs[i] = rt.reg.Counter(
+			fmt.Sprintf(`rr_router_shard_errors_total{shard="%d"}`, i),
+			"Failed shard calls, by shard (cancellations excluded).")
+		rt.mShardLat[i] = rt.reg.Histogram(
+			fmt.Sprintf(`rr_router_shard_latency_seconds{shard="%d"}`, i),
+			"Latency of successful shard calls, by shard.", nil)
+		h := rt.health[i]
+		rt.reg.GaugeFunc(
+			fmt.Sprintf(`rr_router_shard_down{shard="%d"}`, i),
+			"1 while the shard is marked down, 0 otherwise.",
+			func() float64 {
+				if h.isDown() {
+					return 1
+				}
+				return 0
+			})
+	}
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /v1/query", rt.instrument(rt.mReqQuery, rt.handleQuery))
+	rt.mux.HandleFunc("POST /v1/batch", rt.instrument(rt.mReqBatch, rt.handleBatch))
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Metrics exposes the registry.
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// BackendFor returns the backend base URL shard id is placed on.
+func (rt *Router) BackendFor(id int) string { return rt.backendOf[id] }
+
+// Close releases idle backend connections.
+func (rt *Router) Close() {
+	if t, ok := rt.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// ---- wire types (mirroring internal/server) ----
+
+type queryRequest struct {
+	Vertex int        `json:"vertex"`
+	Region [4]float64 `json:"region"`
+}
+
+type queryResponse struct {
+	Reachable bool  `json:"reachable"`
+	Micros    int64 `json:"micros"`
+	// Shards counts the shard calls the scatter-gather attempted (after
+	// pruning).
+	Shards int `json:"shards"`
+	// Partial marks a degraded negative: some shard was unreachable and
+	// PolicyDegrade treated it as negative.
+	Partial bool `json:"partial,omitempty"`
+}
+
+type batchRequest struct {
+	Queries     []queryRequest `json:"queries"`
+	Parallelism int            `json:"parallelism"`
+}
+
+type batchResponse struct {
+	Results []bool `json:"results"`
+	Micros  int64  `json:"micros"`
+	Shards  int    `json:"shards"`
+	Partial bool   `json:"partial,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// shardQueryReply is the subset of rrserve's /v1/query response the
+// router consumes.
+type shardQueryReply struct {
+	Reachable bool `json:"reachable"`
+}
+
+// shardBatchReply is the subset of rrserve's /v1/batch response the
+// router consumes.
+type shardBatchReply struct {
+	Results []bool `json:"results"`
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	if status >= 400 {
+		rt.mReqErrs.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	rt.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body under the MaxBodyBytes cap,
+// reporting (status, error) on failure.
+func (rt *Router) decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	body := r.Body
+	if rt.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad request: %w", err)
+	}
+	return 0, nil
+}
+
+// instrument wraps a handler with counters, the in-flight gauge, the
+// latency histogram and the request log.
+func (rt *Router) instrument(reqs *metrics.Counter, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		rt.mInflight.Inc()
+		start := time.Now()
+		h(w, r)
+		elapsed := time.Since(start)
+		rt.mLatency.Observe(elapsed.Seconds())
+		rt.mInflight.Dec()
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.Uint64("req", rt.reqID.Add(1)),
+				slog.String("path", r.URL.Path),
+				slog.Duration("elapsed", elapsed))
+		}
+	}
+}
+
+// ---- shard calls ----
+
+var errShardDown = errors.New("shard marked down")
+
+// callShard POSTs body to one shard and returns the response bytes.
+// The call carries the per-shard timeout; when hedging is configured a
+// second identical attempt launches after cfg.Hedge and the first
+// answer wins. Cancellation of parent (early exit or client
+// disconnect) is not held against the shard's health.
+func (rt *Router) callShard(parent context.Context, sid int, path string, body []byte) ([]byte, error) {
+	h := rt.health[sid]
+	if !h.allow() {
+		return nil, errShardDown
+	}
+	rt.mShardReqs[sid].Inc()
+	ctx, cancel := context.WithTimeout(parent, rt.cfg.ShardTimeout)
+	defer cancel()
+
+	start := time.Now()
+	data, err := rt.attemptHedged(ctx, sid, path, body)
+	if err != nil {
+		if parent.Err() != nil {
+			// The scatter-gather no longer needs this answer; neither an
+			// error nor a health signal.
+			return nil, parent.Err()
+		}
+		h.report(false)
+		rt.mShardErrs[sid].Inc()
+		return nil, err
+	}
+	h.report(true)
+	rt.mShardLat[sid].Observe(time.Since(start).Seconds())
+	return data, nil
+}
+
+// attemptHedged runs one attempt, or two racing attempts when the
+// first is slower than the hedge delay.
+func (rt *Router) attemptHedged(ctx context.Context, sid int, path string, body []byte) ([]byte, error) {
+	if rt.cfg.Hedge <= 0 {
+		return rt.attempt(ctx, sid, path, body)
+	}
+	type outcome struct {
+		data []byte
+		err  error
+	}
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	ch := make(chan outcome, 2)
+	launch := func() {
+		data, err := rt.attempt(actx, sid, path, body)
+		ch <- outcome{data, err}
+	}
+	go launch()
+	hedge := time.NewTimer(rt.cfg.Hedge)
+	defer hedge.Stop()
+	launched, outstanding := 1, 1
+	var firstErr error
+	for {
+		select {
+		case <-hedge.C:
+			if launched == 1 {
+				launched, outstanding = 2, outstanding+1
+				rt.mHedges.Inc()
+				go launch()
+			}
+		case out := <-ch:
+			if out.err == nil {
+				acancel() // the loser attempt, if any, is moot
+				return out.data, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			outstanding--
+			if launched == 1 {
+				// The first attempt failed before the hedge fired (e.g.
+				// connection refused): spend the hedge budget on an
+				// immediate retry instead of waiting for the timer.
+				hedge.Stop()
+				launched, outstanding = 2, outstanding+1
+				rt.mHedges.Inc()
+				go launch()
+				continue
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt is one HTTP POST to a shard.
+func (rt *Router) attempt(ctx context.Context, sid int, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.backendOf[sid]+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard %d: %s: %s", sid, resp.Status, firstLine(data))
+	}
+	return data, nil
+}
+
+// firstLine trims an error body for log-friendly messages.
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}
+
+// relevantShards returns the shard ids whose venue bounds intersect the
+// query region, counting the pruned remainder.
+func (rt *Router) relevantShards(region geom.Rect) []int {
+	out := make([]int, 0, len(rt.bounds))
+	for sid, b := range rt.bounds {
+		if b.Intersects(region) {
+			out = append(out, sid)
+		}
+	}
+	rt.mPruned.Add(int64(len(rt.bounds) - len(out)))
+	return out
+}
+
+func regionRect(r [4]float64) geom.Rect {
+	return geom.NewRect(r[0], r[1], r[2], r[3])
+}
+
+// ---- handlers ----
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if status, err := rt.decodeBody(w, r, &req); err != nil {
+		rt.writeError(w, status, "%v", err)
+		return
+	}
+	if req.Vertex < 0 || req.Vertex >= rt.cfg.Map.Vertices {
+		rt.writeError(w, http.StatusBadRequest, "vertex %d out of range [0,%d)", req.Vertex, rt.cfg.Map.Vertices)
+		return
+	}
+	start := time.Now()
+	region := regionRect(req.Region)
+	shards := rt.relevantShards(region)
+	if len(shards) == 0 {
+		rt.writeJSON(w, http.StatusOK, queryResponse{Reachable: false, Micros: time.Since(start).Microseconds()})
+		return
+	}
+	// Re-encode the normalized query once; every shard gets identical
+	// bytes.
+	body, err := json.Marshal(queryRequest{Vertex: req.Vertex, Region: req.Region})
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "encoding shard request: %v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	type result struct {
+		sid       int
+		reachable bool
+		err       error
+	}
+	ch := make(chan result, len(shards))
+	for _, sid := range shards {
+		sid := sid
+		go func() {
+			data, err := rt.callShard(ctx, sid, "/v1/query", body)
+			if err != nil {
+				ch <- result{sid: sid, err: err}
+				return
+			}
+			var reply shardQueryReply
+			if err := json.Unmarshal(data, &reply); err != nil {
+				ch <- result{sid: sid, err: fmt.Errorf("shard %d: bad reply: %w", sid, err)}
+				return
+			}
+			ch <- result{sid: sid, reachable: reply.Reachable}
+		}()
+	}
+	var failed []int
+	for i := 0; i < len(shards); i++ {
+		res := <-ch
+		if res.err != nil {
+			failed = append(failed, res.sid)
+			continue
+		}
+		if res.reachable {
+			// First positive settles the query exactly; cancel the rest.
+			if i < len(shards)-1 {
+				rt.mEarlyExit.Inc()
+			}
+			cancel()
+			rt.writeJSON(w, http.StatusOK, queryResponse{
+				Reachable: true, Shards: len(shards),
+				Micros: time.Since(start).Microseconds(),
+			})
+			return
+		}
+	}
+	if len(failed) > 0 && rt.cfg.Policy == PolicyFail {
+		rt.writeError(w, http.StatusBadGateway, "shards %v unavailable and no live shard answered positively", failed)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, queryResponse{
+		Reachable: false, Shards: len(shards), Partial: len(failed) > 0,
+		Micros: time.Since(start).Microseconds(),
+	})
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if status, err := rt.decodeBody(w, r, &req); err != nil {
+		rt.writeError(w, status, "%v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		rt.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > rt.cfg.MaxBatch {
+		rt.writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), rt.cfg.MaxBatch)
+		return
+	}
+	for i, q := range req.Queries {
+		if q.Vertex < 0 || q.Vertex >= rt.cfg.Map.Vertices {
+			rt.writeError(w, http.StatusBadRequest, "query %d: vertex %d out of range [0,%d)", i, q.Vertex, rt.cfg.Map.Vertices)
+			return
+		}
+	}
+	start := time.Now()
+	// Per-shard subsets: each shard sees only the queries whose region
+	// intersects its venue bounds; a query intersecting no shard stays
+	// negative without any network call.
+	subsets := make([][]int, len(rt.bounds))
+	regions := make([]geom.Rect, len(req.Queries))
+	for i, q := range req.Queries {
+		regions[i] = regionRect(q.Region)
+	}
+	active := 0
+	for sid, b := range rt.bounds {
+		for i := range req.Queries {
+			if b.Intersects(regions[i]) {
+				subsets[sid] = append(subsets[sid], i)
+			}
+		}
+		if len(subsets[sid]) > 0 {
+			active++
+		}
+	}
+	rt.mPruned.Add(int64(len(rt.bounds) - active))
+	results := make([]bool, len(req.Queries))
+	if active == 0 {
+		rt.writeJSON(w, http.StatusOK, batchResponse{Results: results, Micros: time.Since(start).Microseconds()})
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	type result struct {
+		sid     int
+		subset  []int
+		answers []bool
+		err     error
+	}
+	ch := make(chan result, active)
+	for sid, subset := range subsets {
+		if len(subset) == 0 {
+			continue
+		}
+		sid, subset := sid, subset
+		go func() {
+			sub := batchRequest{Queries: make([]queryRequest, len(subset)), Parallelism: req.Parallelism}
+			for j, i := range subset {
+				sub.Queries[j] = req.Queries[i]
+			}
+			body, err := json.Marshal(sub)
+			if err != nil {
+				ch <- result{sid: sid, err: err}
+				return
+			}
+			data, err := rt.callShard(ctx, sid, "/v1/batch", body)
+			if err != nil {
+				ch <- result{sid: sid, err: err}
+				return
+			}
+			var reply shardBatchReply
+			if err := json.Unmarshal(data, &reply); err != nil {
+				ch <- result{sid: sid, err: fmt.Errorf("shard %d: bad reply: %w", sid, err)}
+				return
+			}
+			if len(reply.Results) != len(subset) {
+				ch <- result{sid: sid, err: fmt.Errorf("shard %d: %d results for %d queries", sid, len(reply.Results), len(subset))}
+				return
+			}
+			ch <- result{sid: sid, subset: subset, answers: reply.Results}
+		}()
+	}
+	positives := 0
+	var failed []int
+	for done := 0; done < active; done++ {
+		res := <-ch
+		if res.err != nil {
+			failed = append(failed, res.sid)
+			continue
+		}
+		for j, i := range res.subset {
+			if res.answers[j] && !results[i] {
+				results[i] = true
+				positives++
+			}
+		}
+		if positives == len(req.Queries) && done < active-1 {
+			// Every query already positive: the outstanding shards
+			// cannot change anything.
+			rt.mEarlyExit.Inc()
+			cancel()
+			rt.writeJSON(w, http.StatusOK, batchResponse{
+				Results: results, Shards: active,
+				Micros: time.Since(start).Microseconds(),
+			})
+			return
+		}
+	}
+	if len(failed) > 0 && rt.cfg.Policy == PolicyFail {
+		rt.writeError(w, http.StatusBadGateway, "shards %v unavailable", failed)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, batchResponse{
+		Results: results, Shards: active, Partial: len(failed) > 0,
+		Micros: time.Since(start).Microseconds(),
+	})
+}
+
+// healthzResponse reports the router's liveness and cluster view.
+type healthzResponse struct {
+	Status   string     `json:"status"`
+	Shards   int        `json:"shards"`
+	Backends int        `json:"backends"`
+	Vertices int        `json:"vertices"`
+	Space    [4]float64 `json:"space"`
+	Strategy string     `json:"strategy"`
+	Down     []int      `json:"down,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{
+		Status:   "ok",
+		Shards:   rt.cfg.Map.NumShards(),
+		Backends: len(rt.cfg.Backends),
+		Vertices: rt.cfg.Map.Vertices,
+		Space:    rt.cfg.Map.Space,
+		Strategy: rt.cfg.Map.Strategy,
+	}
+	for sid, h := range rt.health {
+		if h.isDown() {
+			resp.Down = append(resp.Down, sid)
+		}
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.reg.WritePrometheus(w)
+}

@@ -1,0 +1,511 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// swapHandler lets a backend's behavior be installed after its URL is
+// known — placement maps shards onto backends, so the per-shard stub
+// must follow the ring's choice, not the construction order.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "no handler installed", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// testMap builds a shard map with the given per-shard bounds over a
+// 100-vertex id space.
+func testMap(bounds ...[4]float64) *shard.Map {
+	m := &shard.Map{
+		Version:  shard.MapVersion,
+		Name:     "test",
+		Strategy: "spatial",
+		Vertices: 100,
+		Space:    [4]float64{0, 0, 10, 10},
+	}
+	for i, b := range bounds {
+		m.Shards = append(m.Shards, shard.MapShard{ID: i, Venues: 5, Bounds: b})
+	}
+	return m
+}
+
+// testCluster starts one stub backend per shard, wires each shard's
+// handler to the backend the ring placed it on, and returns the router
+// plus an installer for per-shard behavior.
+func testCluster(t *testing.T, m *shard.Map, cfg Config) (*Router, func(sid int, h http.HandlerFunc)) {
+	t.Helper()
+	n := m.NumShards()
+	swaps := make([]*swapHandler, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	cfg.Map = m
+	cfg.Backends = urls
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	byURL := make(map[string]*swapHandler, n)
+	for i, u := range urls {
+		byURL[u] = swaps[i]
+	}
+	install := func(sid int, h http.HandlerFunc) {
+		sw, ok := byURL[rt.BackendFor(sid)]
+		if !ok {
+			t.Fatalf("shard %d placed on unknown backend %q", sid, rt.BackendFor(sid))
+		}
+		sw.set(h)
+	}
+	return rt, install
+}
+
+func answer(reachable bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"reachable":%v}`, reachable)
+	}
+}
+
+func postQuery(t *testing.T, h http.Handler, vertex int, region [4]float64) (*httptest.ResponseRecorder, queryResponse) {
+	t.Helper()
+	body, err := json.Marshal(queryRequest{Vertex: vertex, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp queryResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, resp
+}
+
+func postBatch(t *testing.T, h http.Handler, queries []queryRequest) (*httptest.ResponseRecorder, batchResponse) {
+	t.Helper()
+	body, err := json.Marshal(batchRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp batchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, resp
+}
+
+var wholeSpace = [4]float64{0, 0, 10, 10}
+
+func TestQueryFirstPositiveCancelsRemaining(t *testing.T) {
+	m := testMap(wholeSpace, wholeSpace)
+	rt, install := testCluster(t, m, Config{})
+	canceled := make(chan struct{})
+	install(0, answer(true))
+	install(1, func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: net/http only watches for client
+		// disconnect (and cancels r.Context) once the request body is
+		// consumed — which rrserve's JSON decode always does. Then park
+		// until the router's early exit cancels the call; a shard that
+		// never observes the cancel would hang the full 2s shard
+		// timeout and fail the deadline below.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		close(canceled)
+	})
+	start := time.Now()
+	rec, resp := postQuery(t, rt.Handler(), 1, wholeSpace)
+	if rec.Code != http.StatusOK || !resp.Reachable {
+		t.Fatalf("want positive 200, got %d %q", rec.Code, rec.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("positive answer took %v; early exit did not fire", elapsed)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("slow shard never saw the cancellation")
+	}
+	if resp.Shards != 2 {
+		t.Fatalf("response consulted %d shards, want 2", resp.Shards)
+	}
+}
+
+func TestQueryAllNegativeWaitsForAllShards(t *testing.T) {
+	m := testMap(wholeSpace, wholeSpace, wholeSpace)
+	rt, install := testCluster(t, m, Config{})
+	var completed atomic.Int32
+	for sid := 0; sid < 3; sid++ {
+		install(sid, func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(20 * time.Millisecond)
+			completed.Add(1)
+			answer(false)(w, r)
+		})
+	}
+	rec, resp := postQuery(t, rt.Handler(), 1, wholeSpace)
+	if rec.Code != http.StatusOK || resp.Reachable {
+		t.Fatalf("want negative 200, got %d %q", rec.Code, rec.Body.String())
+	}
+	if got := completed.Load(); got != 3 {
+		t.Fatalf("router answered after %d of 3 shards", got)
+	}
+	if resp.Partial {
+		t.Fatal("clean all-negative flagged partial")
+	}
+}
+
+func TestQueryShardDownPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		policy     Policy
+		liveAnswer bool
+		wantCode   int
+		wantReach  bool
+		wantPart   bool
+	}{
+		// A live positive is exact no matter what failed.
+		{PolicyFail, true, http.StatusOK, true, false},
+		{PolicyDegrade, true, http.StatusOK, true, false},
+		// All-negative with a dead shard: fail vs degrade.
+		{PolicyFail, false, http.StatusBadGateway, false, false},
+		{PolicyDegrade, false, http.StatusOK, false, true},
+	} {
+		t.Run(fmt.Sprintf("%v-live-%v", tc.policy, tc.liveAnswer), func(t *testing.T) {
+			m := testMap(wholeSpace, wholeSpace)
+			rt, install := testCluster(t, m, Config{Policy: tc.policy})
+			install(0, answer(tc.liveAnswer))
+			install(1, func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "boom", http.StatusInternalServerError)
+			})
+			rec, resp := postQuery(t, rt.Handler(), 1, wholeSpace)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("got %d %q, want %d", rec.Code, rec.Body.String(), tc.wantCode)
+			}
+			if rec.Code == http.StatusOK && (resp.Reachable != tc.wantReach || resp.Partial != tc.wantPart) {
+				t.Fatalf("got reachable=%v partial=%v, want %v/%v", resp.Reachable, resp.Partial, tc.wantReach, tc.wantPart)
+			}
+		})
+	}
+}
+
+func TestQueryBoundsPruning(t *testing.T) {
+	left := [4]float64{0, 0, 4, 10}
+	right := [4]float64{6, 0, 10, 10}
+	m := testMap(left, right)
+	rt, install := testCluster(t, m, Config{})
+	var rightHits atomic.Int32
+	install(0, answer(true))
+	install(1, func(w http.ResponseWriter, r *http.Request) {
+		rightHits.Add(1)
+		answer(false)(w, r)
+	})
+	rec, resp := postQuery(t, rt.Handler(), 1, [4]float64{1, 1, 2, 2})
+	if rec.Code != http.StatusOK || !resp.Reachable {
+		t.Fatalf("got %d %q", rec.Code, rec.Body.String())
+	}
+	if resp.Shards != 1 {
+		t.Fatalf("consulted %d shards, want 1 (right shard pruned)", resp.Shards)
+	}
+	if rightHits.Load() != 0 {
+		t.Fatal("pruned shard was called")
+	}
+	// A region intersecting no shard answers negative with no calls.
+	rec, resp = postQuery(t, rt.Handler(), 1, [4]float64{4.5, 0, 5.5, 10})
+	if rec.Code != http.StatusOK || resp.Reachable || resp.Shards != 0 {
+		t.Fatalf("gap query: got %d %+v", rec.Code, resp)
+	}
+}
+
+func TestBatchSubsetsAndMerge(t *testing.T) {
+	left := [4]float64{0, 0, 4, 10}
+	right := [4]float64{6, 0, 10, 10}
+	m := testMap(left, right)
+	rt, install := testCluster(t, m, Config{})
+	var leftGot, rightGot atomic.Int32
+	batchStub := func(got *atomic.Int32, result bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req batchRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			got.Add(int32(len(req.Queries)))
+			results := make([]bool, len(req.Queries))
+			for i := range results {
+				results[i] = result
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(shardBatchReply{Results: results})
+		}
+	}
+	install(0, batchStub(&leftGot, true))
+	install(1, batchStub(&rightGot, false))
+	queries := []queryRequest{
+		{Vertex: 1, Region: [4]float64{1, 1, 2, 2}},   // left only
+		{Vertex: 2, Region: [4]float64{7, 1, 8, 2}},   // right only
+		{Vertex: 3, Region: [4]float64{1, 1, 9, 9}},   // spans both
+		{Vertex: 4, Region: [4]float64{4.5, 1, 5, 2}}, // neither
+	}
+	rec, resp := postBatch(t, rt.Handler(), queries)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("got %d %q", rec.Code, rec.Body.String())
+	}
+	want := []bool{true, false, true, false}
+	for i, w := range want {
+		if resp.Results[i] != w {
+			t.Fatalf("query %d: got %v, want %v (results %v)", i, resp.Results[i], w, resp.Results)
+		}
+	}
+	if leftGot.Load() != 2 || rightGot.Load() != 2 {
+		t.Fatalf("subset sizes: left=%d right=%d, want 2/2", leftGot.Load(), rightGot.Load())
+	}
+}
+
+func TestBatchShardDownPolicies(t *testing.T) {
+	m := testMap(wholeSpace, wholeSpace)
+	queries := []queryRequest{{Vertex: 1, Region: wholeSpace}}
+	t.Run("fail", func(t *testing.T) {
+		rt, install := testCluster(t, m, Config{Policy: PolicyFail})
+		install(0, answerBatch(false))
+		install(1, http.NotFound)
+		rec, _ := postBatch(t, rt.Handler(), queries)
+		if rec.Code != http.StatusBadGateway {
+			t.Fatalf("got %d %q, want 502", rec.Code, rec.Body.String())
+		}
+	})
+	t.Run("degrade", func(t *testing.T) {
+		rt, install := testCluster(t, m, Config{Policy: PolicyDegrade})
+		install(0, answerBatch(false))
+		install(1, http.NotFound)
+		rec, resp := postBatch(t, rt.Handler(), queries)
+		if rec.Code != http.StatusOK || !resp.Partial {
+			t.Fatalf("got %d partial=%v, want 200 partial", rec.Code, resp.Partial)
+		}
+	})
+}
+
+func answerBatch(result bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]bool, len(req.Queries))
+		for i := range results {
+			results[i] = result
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(shardBatchReply{Results: results})
+	}
+}
+
+func TestHedgedRequestRescuesSlowShard(t *testing.T) {
+	m := testMap(wholeSpace)
+	rt, install := testCluster(t, m, Config{Hedge: 25 * time.Millisecond})
+	var calls atomic.Int32
+	install(0, func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		_, _ = io.Copy(io.Discard, r.Body) // unblock disconnect detection
+		if n == 1 {
+			// First attempt stalls well past the hedge delay.
+			select {
+			case <-time.After(2 * time.Second):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		answer(true)(w, r)
+	})
+	start := time.Now()
+	rec, resp := postQuery(t, rt.Handler(), 1, wholeSpace)
+	if rec.Code != http.StatusOK || !resp.Reachable {
+		t.Fatalf("got %d %q", rec.Code, rec.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge did not rescue: took %v", elapsed)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("expected a hedged second attempt, saw %d calls", calls.Load())
+	}
+	if rt.mHedges.Value() == 0 {
+		t.Fatal("hedge counter not incremented")
+	}
+}
+
+func TestHedgeRetriesFastFailure(t *testing.T) {
+	m := testMap(wholeSpace)
+	rt, install := testCluster(t, m, Config{Hedge: 500 * time.Millisecond})
+	var calls atomic.Int32
+	install(0, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		answer(true)(w, r)
+	})
+	start := time.Now()
+	rec, resp := postQuery(t, rt.Handler(), 1, wholeSpace)
+	if rec.Code != http.StatusOK || !resp.Reachable {
+		t.Fatalf("got %d %q", rec.Code, rec.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("fast-failure retry waited for the hedge timer: %v", elapsed)
+	}
+}
+
+func TestHealthMarkdownAndRecovery(t *testing.T) {
+	m := testMap(wholeSpace)
+	rt, install := testCluster(t, m, Config{
+		Policy:       PolicyFail,
+		DownAfter:    2,
+		DownCooldown: 60 * time.Millisecond,
+	})
+	var calls atomic.Int32
+	var healthy atomic.Bool
+	install(0, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		answer(true)(w, r)
+	})
+	// Two failures cross DownAfter.
+	for i := 0; i < 2; i++ {
+		if rec, _ := postQuery(t, rt.Handler(), 1, wholeSpace); rec.Code != http.StatusBadGateway {
+			t.Fatalf("failure %d: got %d", i, rec.Code)
+		}
+	}
+	if !rt.health[0].isDown() {
+		t.Fatal("shard not marked down after DownAfter failures")
+	}
+	// While down, requests short-circuit without touching the backend.
+	before := calls.Load()
+	if rec, _ := postQuery(t, rt.Handler(), 1, wholeSpace); rec.Code != http.StatusBadGateway {
+		t.Fatalf("marked-down query: got %d", rec.Code)
+	}
+	if calls.Load() != before {
+		t.Fatal("marked-down shard was still called")
+	}
+	var mb strings.Builder
+	if err := rt.Metrics().WritePrometheus(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mb.String(), `rr_router_shard_down{shard="0"} 1`) {
+		t.Fatalf("mark-down gauge not exported:\n%s", mb.String())
+	}
+	// After the cooldown a half-open trial against a recovered backend
+	// closes the breaker.
+	healthy.Store(true)
+	time.Sleep(80 * time.Millisecond)
+	rec, resp := postQuery(t, rt.Handler(), 1, wholeSpace)
+	if rec.Code != http.StatusOK || !resp.Reachable {
+		t.Fatalf("recovery query: got %d %q", rec.Code, rec.Body.String())
+	}
+	if rt.health[0].isDown() {
+		t.Fatal("shard still marked down after successful trial")
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	m := testMap(wholeSpace)
+	rt, install := testCluster(t, m, Config{MaxBodyBytes: 256, MaxBatch: 4})
+	install(0, answer(false))
+
+	rec, _ := postQuery(t, rt.Handler(), 100, wholeSpace)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range vertex: got %d", rec.Code)
+	}
+	rec, _ = postBatch(t, rt.Handler(), nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: got %d", rec.Code)
+	}
+	rec, _ = postBatch(t, rt.Handler(), make([]queryRequest, 5))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: got %d", rec.Code)
+	}
+	big := bytes.Repeat([]byte(" "), 1024)
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(big))
+	rec = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d, want 413", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "exceeds") {
+		t.Fatalf("413 body is not the JSON error: %q", rec.Body.String())
+	}
+}
+
+func TestRouterHealthz(t *testing.T) {
+	m := testMap(wholeSpace, wholeSpace)
+	rt, install := testCluster(t, m, Config{})
+	install(0, answer(false))
+	install(1, answer(false))
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: got %d", rec.Code)
+	}
+	var resp healthzResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Shards != 2 || resp.Vertices != 100 || resp.Strategy != "spatial" {
+		t.Fatalf("healthz payload %+v", resp)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error without a map")
+	}
+	if _, err := New(Config{Map: testMap(wholeSpace)}); err == nil {
+		t.Fatal("want error without backends")
+	}
+	bad := testMap(wholeSpace)
+	bad.Version = 9
+	if _, err := New(Config{Map: bad, Backends: []string{"http://x"}}); err == nil {
+		t.Fatal("want error for invalid map")
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	rangereach "repro"
+)
+
+func bodyTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	idx, err := testNetwork(t).Build(rangereach.ThreeDReach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Index = idx
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	srv := bodyTestServer(t, Config{MaxBodyBytes: 256})
+	big := `{"queries":[` + strings.Repeat(`{"vertex":1,"region":[0,0,1,1]},`, 100) + `{"vertex":1,"region":[0,0,1,1]}]}`
+
+	for _, path := range []string{"/v1/batch", "/v1/query"} {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(big))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: oversized body got %d, want 413 (%s)", path, rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), "exceeds") {
+			t.Fatalf("%s: 413 body does not explain the limit: %s", path, rec.Body.String())
+		}
+	}
+
+	// The same body under the cap (or with the cap disabled) goes through.
+	for _, limit := range []int64{int64(len(big)) + 1, -1} {
+		srv := bodyTestServer(t, Config{MaxBodyBytes: limit})
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(big))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("limit %d: got %d, want 200 (%s)", limit, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestCanceledRequestGets499(t *testing.T) {
+	srv := bodyTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client hung up before the handler ran
+
+	batch := []byte(`{"queries":[{"vertex":1,"region":[0,0,1,1]}]}`)
+	for path, body := range map[string][]byte{
+		"/v1/batch": batch,
+		"/v1/query": []byte(`{"vertex":1,"region":[0,0,1,1]}`),
+	} {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != statusClientClosedRequest {
+			t.Fatalf("%s: canceled request got %d, want %d (%s)", path, rec.Code, statusClientClosedRequest, rec.Body.String())
+		}
+	}
+}

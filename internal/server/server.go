@@ -57,6 +57,10 @@ type Config struct {
 	// MaxBatch caps the queries accepted per batch request (default
 	// 8192).
 	MaxBatch int
+	// MaxBodyBytes caps request bodies; oversized bodies are refused
+	// with 413 before any JSON decoding happens (default 8 MiB,
+	// negative disables the cap).
+	MaxBodyBytes int64
 	// Logger receives one structured record per request (request id,
 	// method, path, status, latency, plus per-endpoint attributes). Nil
 	// disables request logging.
@@ -112,6 +116,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 8192
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
 	}
 	s := &Server{cfg: cfg, reg: metrics.NewRegistry()}
 	s.mReqQuery = s.reg.Counter(`rr_requests_total{endpoint="query"}`, "HTTP requests by endpoint.")
@@ -364,6 +371,42 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// decodeBody decodes a JSON request body under the configured size cap,
+// answering the error response itself on failure: 413 for oversized
+// bodies (MaxBytesReader poisons the connection anyway, so the precise
+// status matters to the client), 400 for malformed JSON.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, body, s.cfg.MaxBodyBytes)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response was written. The status never
+// reaches that client; it exists for the request log and error metrics
+// to distinguish hang-ups from server-side timeouts (504).
+const statusClientClosedRequest = 499
+
+// cancelStatus maps a context error to the response status.
+func cancelStatus(err error) int {
+	if errors.Is(err, context.Canceled) {
+		return statusClientClosedRequest
+	}
+	return http.StatusGatewayTimeout
+}
+
 // view resolves the read path once per request: the engine to query,
 // the vertex-count bound, and the cache generation it belongs to. In
 // dynamic mode the whole request is served from one snapshot, so even a
@@ -416,8 +459,7 @@ func (s *Server) methodName() string {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	start := time.Now()
@@ -438,6 +480,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.mMisses.Inc()
+	}
+	// A single evaluation is microseconds, so the useful cancellation
+	// point is before it: a request that died while queued (client gone,
+	// deadline passed) should not reach the engine at all.
+	if err := r.Context().Err(); err != nil {
+		s.writeError(w, cancelStatus(err), "query: %v", err)
+		return
 	}
 	var ans bool
 	if s.shouldTrace() {
@@ -519,8 +568,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -547,7 +595,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.evalBatch(r.Context(), v, queries, req.Parallelism)
 	if err != nil {
-		s.writeError(w, http.StatusGatewayTimeout, "batch: %v", err)
+		s.writeError(w, cancelStatus(err), "batch: %v", err)
 		return
 	}
 	s.mQueries.Add(int64(len(queries)))
@@ -557,24 +605,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// evalBatch answers the batch against the resolved view. Static mode
-// fans out through RangeReachBatch in a goroutine so the request
-// context stays enforceable; dynamic mode walks the snapshot serially,
-// checking the deadline between chunks (snapshot queries are
-// single-digit microseconds, so chunked cancellation is tight enough).
+// evalBatch answers the batch against the resolved view. Both modes
+// thread the request context into the evaluation itself, so a client
+// disconnect or deadline stops the in-flight work (workers exit at the
+// next chunk boundary) instead of abandoning it to finish unobserved.
 func (s *Server) evalBatch(ctx context.Context, v view, queries []rangereach.Query, parallelism int) ([]bool, error) {
 	if v.static != nil {
 		if parallelism <= 0 {
 			parallelism = s.cfg.Parallelism
 		}
-		done := make(chan []bool, 1)
-		go func() { done <- v.static.RangeReachBatch(queries, parallelism) }()
-		select {
-		case res := <-done:
-			return res, nil
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+		return v.static.RangeReachBatchContext(ctx, queries, parallelism)
 	}
 	out := make([]bool, len(queries))
 	const chunk = 64
@@ -599,8 +639,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req updateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	var op updateOp
