@@ -42,14 +42,16 @@ type queryBody struct {
 }
 
 type report struct {
-	Target        string        `json:"target"`
-	Rate          float64       `json:"rate_rps"`
-	Duration      time.Duration `json:"duration_ns"`
-	Sent          int           `json:"sent"`
-	OK            int           `json:"ok"`
-	Errors        int           `json:"errors"`
-	Positives     int           `json:"positives"`
-	AchievedRate  float64       `json:"achieved_rps"`
+	Target       string        `json:"target"`
+	Rate         float64       `json:"rate_rps"`
+	Duration     time.Duration `json:"duration_ns"`
+	Sent         int           `json:"sent"`
+	OK           int           `json:"ok"`
+	Errors       int           `json:"errors"`
+	Positives    int           `json:"positives"`
+	AchievedRate float64       `json:"achieved_rps"`
+	// Latency summarizes successful requests only; failures are counted
+	// in Errors, not mixed into the percentiles.
 	Latency       summary       `json:"latency"`
 	MaxSchedLag   time.Duration `json:"max_sched_lag_ns"`
 	SLO           time.Duration `json:"slo_ns,omitempty"`
@@ -250,15 +252,19 @@ func run(client *http.Client, url string, payloads [][]byte, rate float64) repor
 	wall := time.Since(start)
 
 	rep := report{Sent: len(payloads)}
+	// Only successful requests feed the percentile set: a fast failure
+	// (connection refused in microseconds) would otherwise deflate
+	// p50/p99 and let the -slo gate pass while the backend is falling
+	// over. Errors stay visible through the error count.
 	latencies := make([]time.Duration, 0, len(results))
 	for _, r := range results {
-		latencies = append(latencies, r.latency)
 		if r.lag > rep.MaxSchedLag {
 			rep.MaxSchedLag = r.lag
 		}
 		switch {
 		case r.ok:
 			rep.OK++
+			latencies = append(latencies, r.latency)
 			if r.pos {
 				rep.Positives++
 			}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunExcludesErrorsFromLatency: fast failures must not feed the
+// percentile set — a backend answering most requests with an instant
+// 500 would otherwise deflate p50/p99 and let an SLO gate pass while
+// the cluster is falling over.
+func TestRunExcludesErrorsFromLatency(t *testing.T) {
+	const serverDelay = 20 * time.Millisecond
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Two out of three requests fail instantly; the successes are slow.
+		if n.Add(1)%3 != 0 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		time.Sleep(serverDelay)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"reachable":true}`)
+	}))
+	defer ts.Close()
+
+	payloads := make([][]byte, 12)
+	for i := range payloads {
+		payloads[i] = []byte(`{"vertex":1,"region":[0,0,1,1]}`)
+	}
+	rep := run(ts.Client(), ts.URL+"/v1/query", payloads, 2000)
+	if rep.OK == 0 || rep.Errors == 0 || rep.OK+rep.Errors != rep.Sent {
+		t.Fatalf("ok=%d errors=%d sent=%d: want a mix covering all requests", rep.OK, rep.Errors, rep.Sent)
+	}
+	// With the instant failures excluded, every sampled latency is at
+	// least the server delay; if they leaked in, the majority-failure
+	// mix would drag p50 to microseconds.
+	if rep.Latency.P50 < serverDelay {
+		t.Fatalf("p50 %v < server delay %v: failed requests leaked into the latency summary", rep.Latency.P50, serverDelay)
+	}
+	if rep.Latency.Max < serverDelay {
+		t.Fatalf("max %v < server delay %v", rep.Latency.Max, serverDelay)
+	}
+}

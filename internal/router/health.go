@@ -72,6 +72,18 @@ func (h *health) report(ok bool) {
 	}
 }
 
+// abort releases an in-flight half-open probe without a verdict — the
+// call was canceled by the scatter-gather (early exit or client
+// disconnect) before the shard could prove itself either way. The down
+// state and cooldown deadline stay untouched, so the next allow after
+// the (already elapsed) cooldown grants a fresh trial instead of the
+// shard staying down forever behind a probe that never reports.
+func (h *health) abort() {
+	h.mu.Lock()
+	h.probing = false
+	h.mu.Unlock()
+}
+
 // isDown reports the mark-down state (for the gauge and healthz). A
 // shard stays "down" through its half-open phase until a success closes
 // the breaker.

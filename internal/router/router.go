@@ -359,7 +359,9 @@ func (rt *Router) callShard(parent context.Context, sid int, path string, body [
 	if err != nil {
 		if parent.Err() != nil {
 			// The scatter-gather no longer needs this answer; neither an
-			// error nor a health signal.
+			// error nor a health signal — but a half-open probe must be
+			// released or allow() refuses the shard forever.
+			h.abort()
 			return nil, parent.Err()
 		}
 		h.report(false)
@@ -672,12 +674,27 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if len(failed) > 0 && rt.cfg.Policy == PolicyFail {
-		rt.writeError(w, http.StatusBadGateway, "shards %v unavailable", failed)
+	// A failed shard only makes the answer ambiguous when one of its
+	// queries is still negative; positives from live shards are exact
+	// regardless of what is down.
+	ambiguous := false
+	for _, sid := range failed {
+		for _, i := range subsets[sid] {
+			if !results[i] {
+				ambiguous = true
+				break
+			}
+		}
+		if ambiguous {
+			break
+		}
+	}
+	if ambiguous && rt.cfg.Policy == PolicyFail {
+		rt.writeError(w, http.StatusBadGateway, "shards %v unavailable and some of their queries have no positive from a live shard", failed)
 		return
 	}
 	rt.writeJSON(w, http.StatusOK, batchResponse{
-		Results: results, Shards: active, Partial: len(failed) > 0,
+		Results: results, Shards: active, Partial: ambiguous,
 		Micros: time.Since(start).Microseconds(),
 	})
 }

@@ -447,6 +447,106 @@ func TestHealthMarkdownAndRecovery(t *testing.T) {
 	}
 }
 
+// TestCanceledProbeDoesNotStickShardDown is the router-level
+// regression test for the half-open probe leak: an early exit that
+// cancels a marked-down shard's trial request must release the probe,
+// so the shard can still recover on a later request.
+func TestCanceledProbeDoesNotStickShardDown(t *testing.T) {
+	m := testMap(wholeSpace, wholeSpace)
+	rt, install := testCluster(t, m, Config{
+		Policy:       PolicyDegrade,
+		DownAfter:    1,
+		DownCooldown: 50 * time.Millisecond,
+	})
+	// Mark shard 1 down.
+	install(0, answer(false))
+	install(1, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	})
+	if rec, resp := postQuery(t, rt.Handler(), 1, wholeSpace); rec.Code != http.StatusOK || !resp.Partial {
+		t.Fatalf("mark-down query: got %d %q", rec.Code, rec.Body.String())
+	}
+	if !rt.health[1].isDown() {
+		t.Fatal("shard 1 not marked down")
+	}
+	// After the cooldown, shard 1's half-open trial parks until it is
+	// canceled by shard 0's positive (early exit) — the probe ends with
+	// neither success nor failure.
+	install(0, answer(true))
+	install(1, func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	})
+	time.Sleep(80 * time.Millisecond)
+	if rec, resp := postQuery(t, rt.Handler(), 1, wholeSpace); rec.Code != http.StatusOK || !resp.Reachable {
+		t.Fatalf("early-exit query: got %d %q", rec.Code, rec.Body.String())
+	}
+	// Shard 1 is healthy again; the router must eventually grant it a
+	// fresh trial. With the probe leaked, every query below would stay
+	// a degraded negative forever.
+	install(0, answer(false))
+	install(1, answer(true))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, resp := postQuery(t, rt.Handler(), 1, wholeSpace)
+		if resp.Reachable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered shard never probed again: canceled trial leaked the probe")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rt.health[1].isDown() {
+		t.Fatal("shard 1 still marked down after successful trial")
+	}
+}
+
+// TestBatchFailedShardExactPositives: a failed shard whose queries all
+// have positives from live shards does not make the batch ambiguous —
+// the result is exact, so PolicyFail must not answer 502 and the
+// response is not partial.
+func TestBatchFailedShardExactPositives(t *testing.T) {
+	left := [4]float64{0, 0, 4, 10}
+	right := [4]float64{6, 0, 10, 10}
+	m := testMap(left, right)
+	rt, install := testCluster(t, m, Config{Policy: PolicyFail})
+	// Left answers after the right shard's failure has already landed,
+	// so the all-settled state is only reached on the final shard result
+	// (the early-exit branch is skipped).
+	install(0, func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(30 * time.Millisecond)
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]bool, len(req.Queries))
+		for i, q := range req.Queries {
+			results[i] = q.Vertex != 2 // the left-only query for vertex 2 stays negative
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(shardBatchReply{Results: results})
+	})
+	install(1, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	queries := []queryRequest{
+		{Vertex: 1, Region: [4]float64{1, 1, 9, 9}}, // spans both; positive from left
+		{Vertex: 2, Region: [4]float64{1, 1, 2, 2}}, // left only; negative from a live shard
+	}
+	rec, resp := postBatch(t, rt.Handler(), queries)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("got %d %q, want 200: failed shard's only query is positive elsewhere", rec.Code, rec.Body.String())
+	}
+	if !resp.Results[0] || resp.Results[1] {
+		t.Fatalf("results %v, want [true false]", resp.Results)
+	}
+	if resp.Partial {
+		t.Fatal("exact result flagged partial")
+	}
+}
+
 func TestRouterValidation(t *testing.T) {
 	m := testMap(wholeSpace)
 	rt, install := testCluster(t, m, Config{MaxBodyBytes: 256, MaxBatch: 4})
