@@ -103,27 +103,61 @@ if [[ "${1:-}" != "-short" ]]; then
         rm -rf "$SMOKE_DIR"
     }
     trap cleanup_smoke EXIT
-    go build -o "$SMOKE_DIR" ./cmd/rrgen ./cmd/rrserve ./cmd/rrrouter ./cmd/rrload
+    go build -o "$SMOKE_DIR" ./cmd/rrgen ./cmd/rrserve ./cmd/rrrouter \
+        ./cmd/rrload ./cmd/rrquery ./cmd/rrtop
     "$SMOKE_DIR/rrgen" -preset gowalla-like -scale 0.2 -seed 3 \
         -o "$SMOKE_DIR/smoke.gsn" -shards 2 -index 3dreach 2>/dev/null
     B1=http://127.0.0.1:18741
     B2=http://127.0.0.1:18742
     # The ring decides which backend serves which shard; boot each
-    # rrserve with the shard file its placement expects.
+    # rrserve with the shard file its placement expects, tagged with its
+    # shard id so logs and metrics carry cluster-correlation fields.
     "$SMOKE_DIR/rrrouter" -shardmap "$SMOKE_DIR/smoke.shardmap.json" \
         -backends "$B1,$B2" -print-placement | while read -r sid backend; do
         port=${backend##*:}
         "$SMOKE_DIR/rrserve" -net "$SMOKE_DIR/smoke.shard$sid.gsn" \
             -load-index "$SMOKE_DIR/smoke.shard$sid.gsn.idx" \
-            -addr "127.0.0.1:$port" -log off &
+            -addr "127.0.0.1:$port" -shard "$sid" -log off &
         echo $! >> "$SMOKE_DIR/pids"
     done
     SMOKE_PIDS=$(tr '\n' ' ' < "$SMOKE_DIR/pids")
+    # The trace ring must hold every forced trace the load run below
+    # generates (rate x duration = 600), or the slowest one may be
+    # evicted before rrload fetches its breakdown.
     "$SMOKE_DIR/rrrouter" -shardmap "$SMOKE_DIR/smoke.shardmap.json" \
-        -backends "$B1,$B2" -addr 127.0.0.1:18740 -log off -wait-backends 30s &
+        -backends "$B1,$B2" -addr 127.0.0.1:18740 -log off -wait-backends 30s \
+        -trace-ring 1024 &
     SMOKE_PIDS="$SMOKE_PIDS $!"
     "$SMOKE_DIR/rrload" -target http://127.0.0.1:18740 -rate 200 -duration 3s \
-        -wait 30s -fail-on-error -slo 500ms
+        -wait 30s -fail-on-error -slo 500ms -trace -json \
+        > "$SMOKE_DIR/load.json" 2> "$SMOKE_DIR/load.err"
+    grep -q '"schema": "rrload/v1"' "$SMOKE_DIR/load.json"
+    grep -q '"slowest_trace_id"' "$SMOKE_DIR/load.json"
+    # The stitched breakdown of the slowest request (stderr under -json).
+    grep -q 'slowest trace .* endpoint=query status=200' "$SMOKE_DIR/load.err"
+    grep -q 'span name=shard_call' "$SMOKE_DIR/load.err"
+
+    # Distributed-trace smoke: one traced query through the live
+    # cluster, stitched by the router and fetched back from
+    # /v1/trace/{id}. A whole-space region touches every shard, so the
+    # trace must contain the router's own orchestration spans plus one
+    # shard_call span per shard.
+    echo "== cluster trace smoke =="
+    "$SMOKE_DIR/rrquery" -target http://127.0.0.1:18740 -trace \
+        -q "0 -180 -90 180 90" > "$SMOKE_DIR/trace.txt"
+    grep -q 'span name=placement tier=router' "$SMOKE_DIR/trace.txt"
+    grep -q 'span name=fanout tier=router' "$SMOKE_DIR/trace.txt"
+    grep -q 'span name=shard_call tier=shard shard=0' "$SMOKE_DIR/trace.txt"
+    grep -q 'span name=shard_call tier=shard shard=1' "$SMOKE_DIR/trace.txt"
+
+    # Live inspector in its script mode: one ANSI-free snapshot whose
+    # shard table shows both shards scraped and healthy.
+    echo "== rrtop -once smoke =="
+    "$SMOKE_DIR/rrtop" -target http://127.0.0.1:18740 -once > "$SMOKE_DIR/top.txt"
+    grep -q 'status=ok shards=2 backends=2' "$SMOKE_DIR/top.txt"
+    grep -q "$B1" "$SMOKE_DIR/top.txt"
+    grep -q "$B2" "$SMOKE_DIR/top.txt"
+    ! grep -q 'DOWN' "$SMOKE_DIR/top.txt"
     cleanup_smoke
     trap - EXIT
 fi

@@ -17,6 +17,15 @@
 // extent are discovered from the target's /healthz and can be
 // overridden with -vertices / -space.
 //
+// -json emits the report as a single "rrload/v1" JSON document on
+// stdout: achieved rate, per-outcome counts (ok, status_NNN, timeout,
+// network, decode), exact percentiles from the full sample set, and
+// the SLO verdict. -trace sends a W3C traceparent with every request
+// so a fronting rrrouter collects all of them, then fetches the
+// slowest request's stitched trace from /v1/trace/{id} and prints the
+// per-shard breakdown (to stderr under -json, keeping stdout machine
+// readable).
+//
 // Exit status: 0 on success, 1 when -slo is exceeded or -fail-on-error
 // saw request errors, 2 on usage errors.
 package main
@@ -24,16 +33,21 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 type queryBody struct {
@@ -41,7 +55,12 @@ type queryBody struct {
 	Region [4]float64 `json:"region"`
 }
 
+// reportSchema names the -json wire format so downstream tooling can
+// reject a report produced by an incompatible rrload.
+const reportSchema = "rrload/v1"
+
 type report struct {
+	Schema       string        `json:"schema"`
 	Target       string        `json:"target"`
 	Rate         float64       `json:"rate_rps"`
 	Duration     time.Duration `json:"duration_ns"`
@@ -50,6 +69,11 @@ type report struct {
 	Errors       int           `json:"errors"`
 	Positives    int           `json:"positives"`
 	AchievedRate float64       `json:"achieved_rps"`
+	// Outcomes counts every request by disposition: "ok", "status_NNN"
+	// (non-200 HTTP answer), "timeout" (client deadline), "network"
+	// (dial/transport failure), "decode" (unparseable 200 body). The
+	// values always sum to Sent.
+	Outcomes map[string]int64 `json:"outcomes"`
 	// Latency summarizes successful requests only; failures are counted
 	// in Errors, not mixed into the percentiles.
 	Latency       summary       `json:"latency"`
@@ -57,6 +81,10 @@ type report struct {
 	SLO           time.Duration `json:"slo_ns,omitempty"`
 	SLOViolated   bool          `json:"slo_violated"`
 	ErrorExamples []string      `json:"error_examples,omitempty"`
+	// SlowestTraceID is the trace id of the slowest request when -trace
+	// is on; fetch it from the router's /v1/trace/{id} for the stitched
+	// per-shard breakdown.
+	SlowestTraceID string `json:"slowest_trace_id,omitempty"`
 }
 
 func main() {
@@ -75,7 +103,8 @@ func main() {
 		wait     = flag.Duration("wait", 0, "poll target /healthz for up to this long before starting")
 		slo      = flag.Duration("slo", 0, "exit 1 when p99 latency exceeds this (0 disables)")
 		failErr  = flag.Bool("fail-on-error", false, "exit 1 when any request fails")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
+		jsonOut  = flag.Bool("json", false, "emit the report as rrload/v1 JSON on stdout")
+		doTrace  = flag.Bool("trace", false, "send a traceparent with every request and print the slowest request's stitched trace (target must be rrrouter)")
 	)
 	flag.Parse()
 
@@ -126,7 +155,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep := run(client, base+"/v1/query", payloads, *rate)
+	rep := run(client, base+"/v1/query", payloads, *rate, *doTrace)
+	rep.Schema = reportSchema
 	rep.Target = base
 	rep.Rate = *rate
 	rep.Duration = *duration
@@ -139,6 +169,16 @@ func main() {
 		_ = enc.Encode(rep)
 	} else {
 		fmt.Print(formatReport(rep))
+	}
+
+	if *doTrace && rep.SlowestTraceID != "" {
+		// Under -json the breakdown goes to stderr so stdout stays a
+		// single parseable document.
+		out := io.Writer(os.Stdout)
+		if *jsonOut {
+			out = os.Stderr
+		}
+		printSlowestTrace(client, base, rep.SlowestTraceID, out)
 	}
 
 	switch {
@@ -206,14 +246,15 @@ func buildPayloads(w workload) [][]byte {
 // Each request's latency clock starts at its scheduled send time: if
 // the harness (or the server) falls behind, the delay is charged to the
 // measurement rather than hidden by a slowed arrival rate.
-func run(client *http.Client, url string, payloads [][]byte, rate float64) report {
+func run(client *http.Client, url string, payloads [][]byte, rate float64, traced bool) report {
 	interval := time.Duration(float64(time.Second) / rate)
 	type outcome struct {
 		latency time.Duration
 		lag     time.Duration
-		ok      bool
+		kind    string // "ok", "status_NNN", "timeout", "network", "decode"
 		pos     bool
 		errMsg  string
+		traceID string
 	}
 	results := make([]outcome, len(payloads))
 	start := time.Now().Add(50 * time.Millisecond) // headroom so request 0 is not late by construction
@@ -225,10 +266,24 @@ func run(client *http.Client, url string, payloads [][]byte, rate float64) repor
 		go func(i int, sched time.Time) {
 			defer wg.Done()
 			results[i].lag = time.Since(sched)
-			resp, err := client.Post(url, "application/json", bytes.NewReader(payloads[i]))
+			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payloads[i]))
+			if err != nil {
+				results[i].kind, results[i].errMsg = "network", err.Error()
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if traced {
+				// Every request gets its own trace id; a fronting
+				// rrrouter treats the header as a forced trace and
+				// retains the stitched result in its ring.
+				tid := trace.NewTraceID()
+				req.Header.Set(trace.TraceparentHeader, trace.FormatTraceparent(tid, trace.NewSpanID()))
+				results[i].traceID = tid
+			}
+			resp, err := client.Do(req)
 			if err != nil {
 				results[i].latency = time.Since(sched)
-				results[i].errMsg = err.Error()
+				results[i].kind, results[i].errMsg = errKind(err), err.Error()
 				return
 			}
 			var qr struct {
@@ -239,11 +294,13 @@ func run(client *http.Client, url string, payloads [][]byte, rate float64) repor
 			results[i].latency = time.Since(sched)
 			switch {
 			case resp.StatusCode != http.StatusOK:
+				results[i].kind = "status_" + strconv.Itoa(resp.StatusCode)
 				results[i].errMsg = "status " + strconv.Itoa(resp.StatusCode)
 			case decErr != nil:
+				results[i].kind = "decode"
 				results[i].errMsg = "decode: " + decErr.Error()
 			default:
-				results[i].ok = true
+				results[i].kind = "ok"
 				results[i].pos = qr.Reachable
 			}
 		}(i, sched)
@@ -251,18 +308,26 @@ func run(client *http.Client, url string, payloads [][]byte, rate float64) repor
 	wg.Wait()
 	wall := time.Since(start)
 
-	rep := report{Sent: len(payloads)}
+	rep := report{Sent: len(payloads), Outcomes: make(map[string]int64)}
 	// Only successful requests feed the percentile set: a fast failure
 	// (connection refused in microseconds) would otherwise deflate
 	// p50/p99 and let the -slo gate pass while the backend is falling
 	// over. Errors stay visible through the error count.
 	latencies := make([]time.Duration, 0, len(results))
+	var slowest time.Duration
 	for _, r := range results {
 		if r.lag > rep.MaxSchedLag {
 			rep.MaxSchedLag = r.lag
 		}
+		rep.Outcomes[r.kind]++
+		// The slowest request overall — errored or not — is the one
+		// whose stitched trace explains where time went; errored traces
+		// are always retained by the router's tail sampler.
+		if r.traceID != "" && r.latency >= slowest {
+			slowest, rep.SlowestTraceID = r.latency, r.traceID
+		}
 		switch {
-		case r.ok:
+		case r.kind == "ok":
 			rep.OK++
 			latencies = append(latencies, r.latency)
 			if r.pos {
@@ -282,6 +347,65 @@ func run(client *http.Client, url string, payloads [][]byte, rate float64) repor
 	return rep
 }
 
+// errKind classifies a transport-level failure: a client-side deadline
+// reads "timeout", everything else (refused connection, reset, DNS)
+// reads "network".
+func errKind(err error) string {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	return "network"
+}
+
+// printSlowestTrace fetches the stitched cluster trace of the slowest
+// request and prints a per-span breakdown. The router finishes
+// early-exit traces asynchronously, so a short retry window covers
+// stragglers; a plain rrserve target (no /v1/trace) or an evicted
+// entry degrades to a note rather than an error — the load report
+// already stood on its own.
+func printSlowestTrace(client *http.Client, base, id string, w io.Writer) {
+	var ct trace.ClusterTrace
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := client.Get(base + "/v1/trace/" + id)
+		if err == nil {
+			decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ct)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && decErr == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			_, _ = fmt.Fprintf(w, "slowest trace %s: not available from %s/v1/trace (target is not rrrouter, or the entry was evicted from the ring)\n", id, base)
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	_, _ = fmt.Fprintf(w, "slowest trace %s endpoint=%s status=%d reason=%s duration=%v spans=%d\n",
+		ct.TraceID, ct.Endpoint, ct.Status, ct.Reason, time.Duration(ct.DurationNS), len(ct.Spans))
+	for _, sp := range ct.Spans {
+		shard := "-"
+		if sp.Shard != trace.NoShard {
+			shard = strconv.Itoa(sp.Shard)
+		}
+		_, _ = fmt.Fprintf(w, "  span name=%s tier=%s shard=%s start=%v dur=%v",
+			sp.Name, sp.Tier, shard, time.Duration(sp.StartNS), time.Duration(sp.DurationNS))
+		if sp.Err != "" {
+			_, _ = fmt.Fprintf(w, " err=%q", sp.Err)
+		}
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			_, _ = fmt.Fprintf(w, " %s=%s", k, sp.Attrs[k])
+		}
+		_, _ = fmt.Fprintln(w)
+	}
+}
+
 func formatReport(r report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "target     %s\n", r.Target)
@@ -291,6 +415,18 @@ func formatReport(r report) string {
 	fmt.Fprintf(&b, "errors     %d\n", r.Errors)
 	for _, e := range r.ErrorExamples {
 		fmt.Fprintf(&b, "  e.g. %s\n", e)
+	}
+	if len(r.Outcomes) > 1 || r.Errors > 0 {
+		kinds := make([]string, 0, len(r.Outcomes))
+		for k := range r.Outcomes {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		b.WriteString("outcomes  ")
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %s=%d", k, r.Outcomes[k])
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "latency    p50=%v p95=%v p99=%v p999=%v max=%v\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.P999, r.Latency.Max)

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // TestRunExcludesErrorsFromLatency: fast failures must not feed the
@@ -32,9 +37,12 @@ func TestRunExcludesErrorsFromLatency(t *testing.T) {
 	for i := range payloads {
 		payloads[i] = []byte(`{"vertex":1,"region":[0,0,1,1]}`)
 	}
-	rep := run(ts.Client(), ts.URL+"/v1/query", payloads, 2000)
+	rep := run(ts.Client(), ts.URL+"/v1/query", payloads, 2000, false)
 	if rep.OK == 0 || rep.Errors == 0 || rep.OK+rep.Errors != rep.Sent {
 		t.Fatalf("ok=%d errors=%d sent=%d: want a mix covering all requests", rep.OK, rep.Errors, rep.Sent)
+	}
+	if rep.Outcomes["ok"] != int64(rep.OK) || rep.Outcomes["status_500"] != int64(rep.Errors) {
+		t.Fatalf("outcomes %v inconsistent with ok=%d errors=%d", rep.Outcomes, rep.OK, rep.Errors)
 	}
 	// With the instant failures excluded, every sampled latency is at
 	// least the server delay; if they leaked in, the majority-failure
@@ -44,5 +52,170 @@ func TestRunExcludesErrorsFromLatency(t *testing.T) {
 	}
 	if rep.Latency.Max < serverDelay {
 		t.Fatalf("max %v < server delay %v", rep.Latency.Max, serverDelay)
+	}
+}
+
+// TestOutcomeClassification: every request lands in exactly one
+// outcome bucket and the buckets sum to Sent, so a consumer of the
+// rrload/v1 report can account for all traffic without cross-checking
+// other fields.
+func TestOutcomeClassification(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 3 {
+		case 0:
+			http.Error(w, "unavailable", http.StatusServiceUnavailable)
+		case 1:
+			fmt.Fprint(w, "{not json") // 200 with a garbage body
+		default:
+			fmt.Fprint(w, `{"reachable":false}`)
+		}
+	}))
+	defer ts.Close()
+
+	payloads := make([][]byte, 12)
+	for i := range payloads {
+		payloads[i] = []byte(`{"vertex":1,"region":[0,0,1,1]}`)
+	}
+	rep := run(ts.Client(), ts.URL+"/v1/query", payloads, 2000, false)
+	var total int64
+	for _, c := range rep.Outcomes {
+		total += c
+	}
+	if total != int64(rep.Sent) {
+		t.Fatalf("outcome counts %v sum to %d, want Sent=%d", rep.Outcomes, total, rep.Sent)
+	}
+	for _, kind := range []string{"ok", "status_503", "decode"} {
+		if rep.Outcomes[kind] == 0 {
+			t.Fatalf("outcomes %v missing %q", rep.Outcomes, kind)
+		}
+	}
+
+	// A dead target classifies as a network failure, not a status code.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	client := dead.Client()
+	dead.Close()
+	rep = run(client, dead.URL+"/v1/query", payloads[:3], 2000, false)
+	if rep.Outcomes["network"] != 3 {
+		t.Fatalf("dead target outcomes %v, want network=3", rep.Outcomes)
+	}
+}
+
+// TestReportJSONSchema: the -json document carries the schema marker
+// and the per-outcome map, so downstream tooling can hard-fail on a
+// report from an incompatible harness version.
+func TestReportJSONSchema(t *testing.T) {
+	rep := report{Schema: reportSchema, Sent: 1, Outcomes: map[string]int64{"ok": 1}}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["schema"] != "rrload/v1" {
+		t.Fatalf("schema = %v, want rrload/v1", decoded["schema"])
+	}
+	for _, key := range []string{"outcomes", "achieved_rps", "latency", "slo_violated"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("report JSON missing %q: %s", key, raw)
+		}
+	}
+}
+
+// TestTracedRunTracksSlowestRequest: with -trace on, every request
+// carries a distinct traceparent and the report names the trace id of
+// the request that actually measured slowest — the one worth pulling
+// a stitched breakdown for.
+func TestTracedRunTracksSlowestRequest(t *testing.T) {
+	var n atomic.Int64
+	var slowTrace atomic.Value // trace id of the one deliberately slow request
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tp := r.Header.Get("traceparent")
+		tid, _, ok := trace.ParseTraceparent(tp)
+		if !ok {
+			t.Errorf("request without valid traceparent: %q", tp)
+		}
+		if n.Add(1) == 5 {
+			slowTrace.Store(tid)
+			time.Sleep(60 * time.Millisecond)
+		}
+		fmt.Fprint(w, `{"reachable":true}`)
+	}))
+	defer ts.Close()
+
+	payloads := make([][]byte, 8)
+	for i := range payloads {
+		payloads[i] = []byte(`{"vertex":1,"region":[0,0,1,1]}`)
+	}
+	// Low rate so the slow request's sleep dominates its own latency
+	// rather than queueing delay inflating a neighbour's.
+	rep := run(ts.Client(), ts.URL+"/v1/query", payloads, 500, true)
+	if rep.OK != rep.Sent {
+		t.Fatalf("ok=%d sent=%d errors=%v", rep.OK, rep.Sent, rep.ErrorExamples)
+	}
+	want, _ := slowTrace.Load().(string)
+	if want == "" || rep.SlowestTraceID != want {
+		t.Fatalf("SlowestTraceID = %q, want the delayed request's trace id %q", rep.SlowestTraceID, want)
+	}
+}
+
+// TestPrintSlowestTrace: the breakdown printer renders one greppable
+// span line per stitched span, and degrades to a note when the target
+// has no /v1/trace endpoint.
+func TestPrintSlowestTrace(t *testing.T) {
+	ct := trace.ClusterTrace{
+		TraceID:    "0af7651916cd43dd8448eb211c80319c",
+		Endpoint:   "query",
+		DurationNS: int64(3 * time.Millisecond),
+		Status:     200,
+		Reason:     "forced",
+		Spans: []trace.ClusterSpan{
+			{Name: "placement", Tier: trace.TierRouter, Shard: trace.NoShard, DurationNS: 1000},
+			{Name: "shard_call", Tier: trace.TierShard, Shard: 1, DurationNS: 2000, Attrs: map[string]string{"backend": "http://s1"}},
+		},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/trace/"+ct.TraceID {
+			http.NotFound(w, r)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(ct)
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	printSlowestTrace(ts.Client(), ts.URL, ct.TraceID, &buf)
+	out := buf.String()
+	for _, want := range []string{
+		"slowest trace " + ct.TraceID,
+		"reason=forced",
+		"span name=placement tier=router shard=-",
+		"span name=shard_call tier=shard shard=1",
+		"backend=http://s1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+
+	// Plain rrserve target: no /v1/trace route. The printer must note
+	// the absence quickly rather than fail the whole load run.
+	plain := httptest.NewServer(http.NotFoundHandler())
+	defer plain.Close()
+	buf.Reset()
+	done := make(chan struct{})
+	go func() {
+		printSlowestTrace(plain.Client(), plain.URL, "deadbeef", &buf)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("printSlowestTrace did not give up on a traceless target")
+	}
+	if !strings.Contains(buf.String(), "not available") {
+		t.Fatalf("want degradation note, got:\n%s", buf.String())
 	}
 }

@@ -13,18 +13,35 @@
 // With -explain each query also prints its execution profile: the work
 // counters relevant to the chosen method (labels inspected, index nodes
 // visited, candidates probed, ...) and the per-stage timing breakdown.
+//
+// With -target the query goes to a running rrserve or rrrouter over
+// HTTP instead of building an index locally:
+//
+//	rrquery -target http://127.0.0.1:18740 -q "42 13.3 52.4 13.5 52.6"
+//	rrquery -target http://127.0.0.1:18740 -trace -q "42 13.3 52.4 13.5 52.6"
+//
+// -trace sends a W3C traceparent with the query and prints the stitched
+// cluster trace fetched back from the router's /v1/trace/{id}: one
+// greppable `span name=... tier=... shard=...` line per span, with each
+// shard's engine counters indented under its shard_call span.
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	rangereach "repro"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,9 +55,19 @@ func main() {
 		explain = flag.Bool("explain", false, "print each query's execution profile")
 		saveIdx = flag.String("save-index", "", "after building, persist the index to this file")
 		loadIdx = flag.String("load-index", "", "load a persisted index instead of building (-method is ignored)")
+		target  = flag.String("target", "", "query a running rrserve/rrrouter at this base URL instead of building locally")
+		doTrace = flag.Bool("trace", false, "with -target: send a traceparent and print the stitched cluster trace")
 	)
 	flag.Parse()
 
+	if *target != "" {
+		runRemote(strings.TrimRight(*target, "/"), *query, *batch, *doTrace)
+		return
+	}
+	if *doTrace {
+		fmt.Fprintln(os.Stderr, "rrquery: -trace needs -target (local runs use -explain)")
+		os.Exit(2)
+	}
 	if *netPath == "" {
 		fmt.Fprintln(os.Stderr, "rrquery: -net is required")
 		os.Exit(2)
@@ -210,6 +237,218 @@ func methodByName(name string) (rangereach.Method, bool) {
 	default:
 		return 0, false
 	}
+}
+
+// ---- remote mode (-target) ----
+
+// remoteResponse covers both rrserve's and rrrouter's /v1/query wire
+// formats.
+type remoteResponse struct {
+	Reachable bool                   `json:"reachable"`
+	Micros    int64                  `json:"micros"`
+	Shards    int                    `json:"shards"`
+	Partial   bool                   `json:"partial,omitempty"`
+	TraceID   string                 `json:"trace_id,omitempty"`
+	Stats     *rangereach.QueryStats `json:"stats,omitempty"`
+}
+
+// runRemote answers -q or -batch against a running server.
+func runRemote(target, query, batch string, doTrace bool) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	run := func(line string) error {
+		v, r, err := parseQuery(line)
+		if err != nil {
+			return err
+		}
+		return queryRemote(client, target, v, r, doTrace)
+	}
+	switch {
+	case query != "":
+		if err := run(query); err != nil {
+			fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+			os.Exit(1)
+		}
+	case batch != "":
+		f, err := os.Open(batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := run(line); err != nil {
+				fmt.Fprintf(os.Stderr, "rrquery: line %d: %v\n", lineNo, err)
+				os.Exit(1)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "rrquery: need -q or -batch")
+		os.Exit(2)
+	}
+}
+
+func queryRemote(client *http.Client, target string, v int, r rangereach.Rect, doTrace bool) error {
+	body, err := json.Marshal(map[string]any{
+		"vertex": v, "region": [4]float64{r.MinX, r.MinY, r.MaxX, r.MaxY},
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, target+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var tid string
+	if doTrace {
+		tid = trace.NewTraceID()
+		req.Header.Set(trace.TraceparentHeader, trace.FormatTraceparent(tid, trace.NewSpanID()))
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var qr remoteResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		return fmt.Errorf("bad response %q: %v", data, err)
+	}
+	extra := ""
+	if qr.Shards > 0 {
+		extra = fmt.Sprintf("  [%d shards]", qr.Shards)
+	}
+	if qr.Partial {
+		extra += "  [partial]"
+	}
+	fmt.Printf("RangeReach(%d, [%g,%g]x[%g,%g]) = %v  (%v)%s\n",
+		v, r.MinX, r.MaxX, r.MinY, r.MaxY, qr.Reachable, time.Since(start).Round(time.Microsecond), extra)
+	if !doTrace {
+		return nil
+	}
+	if tr, err := fetchTrace(client, target, tid); err == nil {
+		printClusterTrace(tr)
+		return nil
+	}
+	// A single rrserve target has no /v1/trace endpoint but returns its
+	// stats inline on traced requests.
+	if qr.Stats != nil {
+		fmt.Printf("trace %s (shard-local stats; target has no /v1/trace)\n", tid)
+		printStats(*qr.Stats)
+		return nil
+	}
+	return fmt.Errorf("trace %s not retrievable from %s", tid, target)
+}
+
+// fetchTrace pulls /v1/trace/{id}, retrying briefly: early-exit traces
+// are finished asynchronously after the response is written.
+func fetchTrace(client *http.Client, target, id string) (*trace.ClusterTrace, error) {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := client.Get(target + "/v1/trace/" + id)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		_ = resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			var tr trace.ClusterTrace
+			if err := json.Unmarshal(data, &tr); err != nil {
+				return nil, err
+			}
+			return &tr, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// printClusterTrace renders a stitched trace, one greppable line per
+// span plus each shard's engine counters.
+func printClusterTrace(tr *trace.ClusterTrace) {
+	fmt.Printf("trace %s endpoint=%s status=%d reason=%s duration=%v spans=%d\n",
+		tr.TraceID, tr.Endpoint, tr.Status, tr.Reason,
+		time.Duration(tr.DurationNS).Round(time.Microsecond), len(tr.Spans))
+	for _, sp := range tr.Spans {
+		shard := "-"
+		if sp.Shard != trace.NoShard {
+			shard = strconv.Itoa(sp.Shard)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "  span name=%s tier=%s shard=%s start=%v dur=%v",
+			sp.Name, sp.Tier, shard,
+			time.Duration(sp.StartNS).Round(time.Microsecond),
+			time.Duration(sp.DurationNS).Round(time.Microsecond))
+		if sp.Err != "" {
+			fmt.Fprintf(&b, " err=%q", sp.Err)
+		}
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, sp.Attrs[k])
+		}
+		fmt.Println(b.String())
+		if len(sp.Stats) > 0 {
+			var qs rangereach.QueryStats
+			if err := json.Unmarshal(sp.Stats, &qs); err == nil {
+				printShardStats(qs)
+			}
+		}
+	}
+}
+
+// printShardStats is the compact one-line-per-fact stats rendering
+// under a shard_call span.
+func printShardStats(qs rangereach.QueryStats) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "    stats method=%s engine=%v", qs.Method, qs.Duration.Round(time.Microsecond))
+	if qs.CacheHit {
+		b.WriteString(" cache_hit=true")
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"labels", qs.Labels}, {"index_nodes", qs.IndexNodes},
+		{"index_leaves", qs.IndexLeaves}, {"index_entries", qs.IndexEntries},
+		{"candidates", qs.Candidates}, {"reach_probes", qs.ReachProbes},
+		{"graph_visited", qs.GraphVisited}, {"enumerated", qs.Enumerated},
+		{"members", qs.Members},
+	} {
+		if c.v != 0 {
+			fmt.Fprintf(&b, " %s=%d", c.name, c.v)
+		}
+	}
+	for _, st := range qs.Stages {
+		fmt.Fprintf(&b, " stage.%s=%v", st.Stage, st.Duration.Round(time.Microsecond))
+	}
+	fmt.Println(b.String())
 }
 
 func parseQuery(s string) (int, rangereach.Rect, error) {

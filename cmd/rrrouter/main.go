@@ -17,10 +17,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/query   same wire format as rrserve
-//	POST /v1/batch   same wire format as rrserve (plus "partial" flag)
-//	GET  /healthz    topology + per-shard down list
-//	GET  /metrics    Prometheus text format (per-shard labels)
+//	POST /v1/query      same wire format as rrserve
+//	POST /v1/batch      same wire format as rrserve (plus "partial" flag)
+//	GET  /v1/trace/{id} one stitched cluster trace (router + shard spans)
+//	GET  /v1/traces     recent retained traces, newest first
+//	GET  /v1/cluster    federated cluster view (per-shard health, p99, planner mix)
+//	GET  /healthz       topology + per-shard down list
+//	GET  /metrics       Prometheus text format (per-shard labels + federated rr_cluster_*)
+//
+// A request carrying a W3C traceparent header is always traced: the
+// router propagates the trace id to every shard call, stitches the
+// shards' execution stats into one trace, and serves it from
+// /v1/trace/{id}. -trace-sample N additionally collects every request
+// and retains all slow or errored traces plus 1 in N healthy ones.
 package main
 
 import (
@@ -56,6 +65,11 @@ func main() {
 		logMode   = flag.String("log", "text", "request log format: text, json, off")
 		printOnly = flag.Bool("print-placement", false, "print shard-to-backend placement and exit")
 		waitFor   = flag.Duration("wait-backends", 0, "poll backend /healthz for up to this long before serving (0 disables)")
+
+		traceSample = flag.Int("trace-sample", 0, "ambient trace collection: keep all slow/error traces plus 1 in N healthy ones (0 = only client-forced traceparent requests)")
+		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "latency at which a collected trace is always retained")
+		traceRing   = flag.Int("trace-ring", 256, "retained traces served by /v1/trace/{id}")
+		federate    = flag.Duration("federate", 0, "scrape shard /metrics into rr_cluster_* on this interval (0 = on demand when /v1/cluster is hit)")
 	)
 	flag.Parse()
 
@@ -113,6 +127,10 @@ func main() {
 		DownAfter:    *downAfter,
 		DownCooldown: *cooldown,
 		Logger:       logger,
+		TraceSample:  *traceSample,
+		TraceSlow:    *traceSlow,
+		TraceRing:    *traceRing,
+		Federate:     *federate,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rrrouter: %v\n", err)

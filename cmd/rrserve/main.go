@@ -45,6 +45,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -73,6 +74,7 @@ func main() {
 		traceN    = flag.Int("trace-sample", 0, "trace every Nth query into the rr_stage_seconds histograms (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; keep private)")
 		checkIdx  = flag.Bool("check", false, "deep-validate index invariants before serving; refuse to start on failure")
+		shardID   = flag.Int("shard", -1, "shard id this process serves in a cluster; tags logs and metrics (-1 = standalone)")
 	)
 	flag.Parse()
 
@@ -96,6 +98,9 @@ func main() {
 		Logger:       logger,
 		SlowQuery:    *slowQ,
 		TraceSample:  *traceN,
+	}
+	if *shardID >= 0 {
+		cfg.ShardID = strconv.Itoa(*shardID)
 	}
 	mode := "static"
 	var buildOpts []rangereach.Option

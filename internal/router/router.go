@@ -32,12 +32,15 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // Policy selects what an all-negative answer with failed shards
@@ -109,6 +112,22 @@ type Config struct {
 	DownCooldown time.Duration
 	// Logger receives one structured record per request. Nil disables.
 	Logger *slog.Logger
+	// TraceSample enables ambient trace collection: every request
+	// collects spans and a tail decision keeps all slow or errored
+	// traces plus one in TraceSample healthy ones. Zero disables ambient
+	// collection; requests carrying a client traceparent header are
+	// always collected and kept regardless.
+	TraceSample int
+	// TraceSlow is the latency at which a trace is always retained
+	// (default 100ms).
+	TraceSlow time.Duration
+	// TraceRing caps the retained-trace ring served by /v1/trace/{id}
+	// (default 256).
+	TraceRing int
+	// Federate is the background interval for scraping shard /metrics
+	// into the rr_cluster_* families. Zero scrapes on demand when
+	// /v1/cluster is hit with a stale view.
+	Federate time.Duration
 	// Transport overrides the outbound HTTP transport (tests); nil
 	// selects a pooled transport with per-backend connection reuse.
 	Transport http.RoundTripper
@@ -137,6 +156,15 @@ type Router struct {
 	mShardErrs []*metrics.Counter
 	mShardLat  []*metrics.Histogram
 
+	mTraces     *metrics.Counter
+	mTracesKept *metrics.Counter
+	ring        *trace.Ring
+	sampler     *trace.Sampler
+
+	fed     *federator
+	fedStop chan struct{}
+	fedDone chan struct{}
+
 	reqID atomic.Uint64
 }
 
@@ -160,6 +188,12 @@ func New(cfg Config) (*Router, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.TraceSlow <= 0 {
+		cfg.TraceSlow = 100 * time.Millisecond
+	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 256
+	}
 	n := cfg.Map.NumShards()
 	rt := &Router{
 		cfg:       cfg,
@@ -167,6 +201,8 @@ func New(cfg Config) (*Router, error) {
 		bounds:    make([]geom.Rect, n),
 		health:    make([]*health, n),
 		reg:       metrics.NewRegistry(),
+		ring:      trace.NewRing(cfg.TraceRing),
+		sampler:   &trace.Sampler{N: cfg.TraceSample, Slow: cfg.TraceSlow},
 	}
 	for i, s := range cfg.Map.Shards {
 		rt.bounds[i] = s.BoundsRect()
@@ -215,11 +251,25 @@ func New(cfg Config) (*Router, error) {
 			})
 	}
 
+	rt.mTraces = rt.reg.Counter("rr_router_traces_total", "Requests that collected a cluster trace.")
+	rt.mTracesKept = rt.reg.Counter("rr_router_traces_kept_total", "Cluster traces retained by tail sampling.")
+	rt.fed = newFederator(n)
+	rt.registerClusterMetrics()
+
 	rt.mux = http.NewServeMux()
-	rt.mux.HandleFunc("POST /v1/query", rt.instrument(rt.mReqQuery, rt.handleQuery))
-	rt.mux.HandleFunc("POST /v1/batch", rt.instrument(rt.mReqBatch, rt.handleBatch))
+	rt.mux.HandleFunc("POST /v1/query", rt.instrument("query", rt.mReqQuery, rt.handleQuery))
+	rt.mux.HandleFunc("POST /v1/batch", rt.instrument("batch", rt.mReqBatch, rt.handleBatch))
+	rt.mux.HandleFunc("GET /v1/trace/{id}", rt.handleTrace)
+	rt.mux.HandleFunc("GET /v1/traces", rt.handleTraces)
+	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+
+	if cfg.Federate > 0 {
+		rt.fedStop = make(chan struct{})
+		rt.fedDone = make(chan struct{})
+		go rt.federateLoop()
+	}
 	return rt, nil
 }
 
@@ -232,8 +282,14 @@ func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
 // BackendFor returns the backend base URL shard id is placed on.
 func (rt *Router) BackendFor(id int) string { return rt.backendOf[id] }
 
-// Close releases idle backend connections.
+// Close stops the federation loop and releases idle backend
+// connections.
 func (rt *Router) Close() {
+	if rt.fedStop != nil {
+		close(rt.fedStop)
+		<-rt.fedDone
+		rt.fedStop = nil
+	}
 	if t, ok := rt.client.Transport.(*http.Transport); ok {
 		t.CloseIdleConnections()
 	}
@@ -255,6 +311,9 @@ type queryResponse struct {
 	// Partial marks a degraded negative: some shard was unreachable and
 	// PolicyDegrade treated it as negative.
 	Partial bool `json:"partial,omitempty"`
+	// TraceID names the cluster trace this request collected, fetchable
+	// from /v1/trace/{id} while it stays in the ring.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type batchRequest struct {
@@ -267,6 +326,7 @@ type batchResponse struct {
 	Micros  int64  `json:"micros"`
 	Shards  int    `json:"shards"`
 	Partial bool   `json:"partial,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -274,9 +334,12 @@ type errorResponse struct {
 }
 
 // shardQueryReply is the subset of rrserve's /v1/query response the
-// router consumes.
+// router consumes. Stats is the shard's own QueryStats, present only
+// on traced requests; the router stitches it into the cluster trace
+// without interpreting it.
 type shardQueryReply struct {
-	Reachable bool `json:"reachable"`
+	Reachable bool            `json:"reachable"`
+	Stats     json.RawMessage `json:"stats"`
 }
 
 // shardBatchReply is the subset of rrserve's /v1/batch response the
@@ -316,22 +379,68 @@ func (rt *Router) decodeBody(w http.ResponseWriter, r *http.Request, v any) (int
 	return 0, nil
 }
 
+// statusWriter captures the response status for the trace and the
+// request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
 // instrument wraps a handler with counters, the in-flight gauge, the
-// latency histogram and the request log.
-func (rt *Router) instrument(reqs *metrics.Counter, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// latency histogram, the trace lifecycle and the request log. With
+// tracing off and no logger the wrapper stays on the untraced fast
+// path: the two atomics plus one histogram observe, and a single
+// traceparent header lookup.
+func (rt *Router) instrument(endpoint string, reqs *metrics.Counter, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
 		rt.mInflight.Inc()
 		start := time.Now()
+		tb, r := rt.startTrace(r, endpoint, start)
+		var sw *statusWriter
+		if tb != nil || rt.cfg.Logger != nil {
+			sw = &statusWriter{ResponseWriter: w}
+			w = sw
+		}
 		h(w, r)
 		elapsed := time.Since(start)
 		rt.mLatency.Observe(elapsed.Seconds())
 		rt.mInflight.Dec()
+		if tb != nil && !tb.isAsync() {
+			rt.storeTrace(tb, sw.status(), elapsed)
+		}
 		if rt.cfg.Logger != nil {
-			rt.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+			attrs := []slog.Attr{
 				slog.Uint64("req", rt.reqID.Add(1)),
 				slog.String("path", r.URL.Path),
-				slog.Duration("elapsed", elapsed))
+				slog.Int("status", sw.status()),
+				slog.Duration("elapsed", elapsed),
+			}
+			if tb != nil {
+				attrs = append(attrs, slog.String("trace_id", tb.traceID()))
+			}
+			rt.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 		}
 	}
 }
@@ -401,6 +510,7 @@ func (rt *Router) attemptHedged(ctx context.Context, sid int, path string, body 
 			if launched == 1 {
 				launched, outstanding = 2, outstanding+1
 				rt.mHedges.Inc()
+				traceFrom(ctx).event("hedge", trace.TierRouter, sid, map[string]string{"cause": "slow"})
 				go launch()
 			}
 		case out := <-ch:
@@ -419,6 +529,7 @@ func (rt *Router) attemptHedged(ctx context.Context, sid int, path string, body 
 				hedge.Stop()
 				launched, outstanding = 2, outstanding+1
 				rt.mHedges.Inc()
+				traceFrom(ctx).event("hedge", trace.TierRouter, sid, map[string]string{"cause": "fast-fail"})
 				go launch()
 				continue
 			}
@@ -438,6 +549,11 @@ func (rt *Router) attempt(ctx context.Context, sid int, path string, body []byte
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tb := traceFrom(ctx); tb != nil {
+		// Same trace id, fresh span id per hop: the shard logs and
+		// traces under the cluster-wide id.
+		req.Header.Set(trace.TraceparentHeader, trace.FormatTraceparent(tb.traceID(), trace.NewSpanID()))
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -451,6 +567,18 @@ func (rt *Router) attempt(ctx context.Context, sid int, path string, body []byte
 		return nil, fmt.Errorf("shard %d: %s: %s", sid, resp.Status, firstLine(data))
 	}
 	return data, nil
+}
+
+// parsePositiveInt parses a strictly positive integer query parameter.
+func parsePositiveInt(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("not positive: %d", v)
+	}
+	return v, nil
 }
 
 // firstLine trims an error body for log-friendly messages.
@@ -483,7 +611,53 @@ func regionRect(r [4]float64) geom.Rect {
 
 // ---- handlers ----
 
+// placementSpan records the pruning decision on a traced request.
+func (rt *Router) placementSpan(tb *traceBuilder, pstart time.Time, kept int) {
+	tb.span("placement", trace.TierRouter, trace.NoShard, pstart, "", map[string]string{
+		"shards": strconv.Itoa(kept),
+		"pruned": strconv.Itoa(len(rt.bounds) - kept),
+	}, nil)
+}
+
+// fanoutAttrs labels the fan-out span with its outcome.
+func fanoutAttrs(shards int, earlyExit bool, failed []int) map[string]string {
+	attrs := map[string]string{
+		"shards":     strconv.Itoa(shards),
+		"early_exit": strconv.FormatBool(earlyExit),
+	}
+	if len(failed) > 0 {
+		attrs["failed"] = fmt.Sprint(failed)
+	}
+	return attrs
+}
+
+// shardErrString condenses a shard-call error for a span. Cancellation
+// of the scatter-gather is the one non-failure: the answer was simply
+// no longer needed.
+func shardErrString(err error) string {
+	if errors.Is(err, context.Canceled) {
+		return "canceled"
+	}
+	return err.Error()
+}
+
+// finishAsync hands trace completion to a goroutine that waits for the
+// canceled stragglers to record their spans. The trace keeps the
+// latency the client saw, not the straggler drain time.
+func (rt *Router) finishAsync(tb *traceBuilder, wg *sync.WaitGroup, status int) {
+	if tb == nil {
+		return
+	}
+	tb.beginAsync()
+	elapsed := time.Since(tb.start)
+	go func() {
+		wg.Wait()
+		rt.storeTrace(tb, status, elapsed)
+	}()
+}
+
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tb := traceFrom(r.Context())
 	var req queryRequest
 	if status, err := rt.decodeBody(w, r, &req); err != nil {
 		rt.writeError(w, status, "%v", err)
@@ -496,8 +670,12 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	region := regionRect(req.Region)
 	shards := rt.relevantShards(region)
+	rt.placementSpan(tb, start, len(shards))
 	if len(shards) == 0 {
-		rt.writeJSON(w, http.StatusOK, queryResponse{Reachable: false, Micros: time.Since(start).Microseconds()})
+		rt.writeJSON(w, http.StatusOK, queryResponse{
+			Reachable: false, Micros: time.Since(start).Microseconds(),
+			TraceID: tb.traceID(),
+		})
 		return
 	}
 	// Re-encode the normalized query once; every shard gets identical
@@ -515,19 +693,32 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		err       error
 	}
 	ch := make(chan result, len(shards))
+	fstart := time.Now()
+	var wg sync.WaitGroup
 	for _, sid := range shards {
 		sid := sid
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
+			cstart := time.Now()
 			data, err := rt.callShard(ctx, sid, "/v1/query", body)
 			if err != nil {
+				tb.span("shard_call", trace.TierShard, sid, cstart, shardErrString(err),
+					map[string]string{"backend": rt.backendOf[sid]}, nil)
 				ch <- result{sid: sid, err: err}
 				return
 			}
 			var reply shardQueryReply
 			if err := json.Unmarshal(data, &reply); err != nil {
+				tb.span("shard_call", trace.TierShard, sid, cstart, "bad reply",
+					map[string]string{"backend": rt.backendOf[sid]}, nil)
 				ch <- result{sid: sid, err: fmt.Errorf("shard %d: bad reply: %w", sid, err)}
 				return
 			}
+			tb.span("shard_call", trace.TierShard, sid, cstart, "", map[string]string{
+				"backend":   rt.backendOf[sid],
+				"reachable": strconv.FormatBool(reply.Reachable),
+			}, reply.Stats)
 			ch <- result{sid: sid, reachable: reply.Reachable}
 		}()
 	}
@@ -540,24 +731,34 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if res.reachable {
 			// First positive settles the query exactly; cancel the rest.
-			if i < len(shards)-1 {
+			earlyExit := i < len(shards)-1
+			if earlyExit {
 				rt.mEarlyExit.Inc()
 			}
 			cancel()
+			tb.span("fanout", trace.TierRouter, trace.NoShard, fstart, "",
+				fanoutAttrs(len(shards), earlyExit, failed), nil)
 			rt.writeJSON(w, http.StatusOK, queryResponse{
 				Reachable: true, Shards: len(shards),
-				Micros: time.Since(start).Microseconds(),
+				Micros:  time.Since(start).Microseconds(),
+				TraceID: tb.traceID(),
 			})
+			if earlyExit {
+				rt.finishAsync(tb, &wg, http.StatusOK)
+			}
 			return
 		}
 	}
+	tb.span("fanout", trace.TierRouter, trace.NoShard, fstart, "",
+		fanoutAttrs(len(shards), false, failed), nil)
 	if len(failed) > 0 && rt.cfg.Policy == PolicyFail {
 		rt.writeError(w, http.StatusBadGateway, "shards %v unavailable and no live shard answered positively", failed)
 		return
 	}
 	rt.writeJSON(w, http.StatusOK, queryResponse{
 		Reachable: false, Shards: len(shards), Partial: len(failed) > 0,
-		Micros: time.Since(start).Microseconds(),
+		Micros:  time.Since(start).Microseconds(),
+		TraceID: tb.traceID(),
 	})
 }
 
@@ -581,6 +782,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tb := traceFrom(r.Context())
 	start := time.Now()
 	// Per-shard subsets: each shard sees only the queries whose region
 	// intersects its venue bounds; a query intersecting no shard stays
@@ -602,9 +804,13 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rt.mPruned.Add(int64(len(rt.bounds) - active))
+	rt.placementSpan(tb, start, active)
 	results := make([]bool, len(req.Queries))
 	if active == 0 {
-		rt.writeJSON(w, http.StatusOK, batchResponse{Results: results, Micros: time.Since(start).Microseconds()})
+		rt.writeJSON(w, http.StatusOK, batchResponse{
+			Results: results, Micros: time.Since(start).Microseconds(),
+			TraceID: tb.traceID(),
+		})
 		return
 	}
 	ctx, cancel := context.WithCancel(r.Context())
@@ -616,35 +822,49 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		err     error
 	}
 	ch := make(chan result, active)
+	fstart := time.Now()
+	var wg sync.WaitGroup
 	for sid, subset := range subsets {
 		if len(subset) == 0 {
 			continue
 		}
 		sid, subset := sid, subset
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
+			cstart := time.Now()
+			attrs := map[string]string{
+				"backend": rt.backendOf[sid],
+				"queries": strconv.Itoa(len(subset)),
+			}
 			sub := batchRequest{Queries: make([]queryRequest, len(subset)), Parallelism: req.Parallelism}
 			for j, i := range subset {
 				sub.Queries[j] = req.Queries[i]
 			}
 			body, err := json.Marshal(sub)
 			if err != nil {
+				tb.span("shard_call", trace.TierShard, sid, cstart, err.Error(), attrs, nil)
 				ch <- result{sid: sid, err: err}
 				return
 			}
 			data, err := rt.callShard(ctx, sid, "/v1/batch", body)
 			if err != nil {
+				tb.span("shard_call", trace.TierShard, sid, cstart, shardErrString(err), attrs, nil)
 				ch <- result{sid: sid, err: err}
 				return
 			}
 			var reply shardBatchReply
 			if err := json.Unmarshal(data, &reply); err != nil {
+				tb.span("shard_call", trace.TierShard, sid, cstart, "bad reply", attrs, nil)
 				ch <- result{sid: sid, err: fmt.Errorf("shard %d: bad reply: %w", sid, err)}
 				return
 			}
 			if len(reply.Results) != len(subset) {
+				tb.span("shard_call", trace.TierShard, sid, cstart, "length mismatch", attrs, nil)
 				ch <- result{sid: sid, err: fmt.Errorf("shard %d: %d results for %d queries", sid, len(reply.Results), len(subset))}
 				return
 			}
+			tb.span("shard_call", trace.TierShard, sid, cstart, "", attrs, nil)
 			ch <- result{sid: sid, subset: subset, answers: reply.Results}
 		}()
 	}
@@ -667,13 +887,19 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// cannot change anything.
 			rt.mEarlyExit.Inc()
 			cancel()
+			tb.span("fanout", trace.TierRouter, trace.NoShard, fstart, "",
+				fanoutAttrs(active, true, failed), nil)
 			rt.writeJSON(w, http.StatusOK, batchResponse{
 				Results: results, Shards: active,
-				Micros: time.Since(start).Microseconds(),
+				Micros:  time.Since(start).Microseconds(),
+				TraceID: tb.traceID(),
 			})
+			rt.finishAsync(tb, &wg, http.StatusOK)
 			return
 		}
 	}
+	tb.span("fanout", trace.TierRouter, trace.NoShard, fstart, "",
+		fanoutAttrs(active, false, failed), nil)
 	// A failed shard only makes the answer ambiguous when one of its
 	// queries is still negative; positives from live shards are exact
 	// regardless of what is down.
@@ -695,7 +921,8 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.writeJSON(w, http.StatusOK, batchResponse{
 		Results: results, Shards: active, Partial: ambiguous,
-		Micros: time.Since(start).Microseconds(),
+		Micros:  time.Since(start).Microseconds(),
+		TraceID: tb.traceID(),
 	})
 }
 

@@ -322,3 +322,113 @@ func TestTraceSampling(t *testing.T) {
 		t.Errorf("traced %d of 40 queries, want 10", got)
 	}
 }
+
+// TestShardObservability covers the cluster-facing surface a single
+// rrserve exposes when it runs as one shard: a traced request echoes
+// the shard id, trace id and execution stats for the router to stitch;
+// the slow-query warning carries both correlation fields so a WARN
+// greps straight to its cluster trace; and /metrics exports the cache
+// hit ratio plus the shard-labeled in-flight gauge the router's
+// federation layer scrapes.
+func TestShardObservability(t *testing.T) {
+	net := testNetwork(t)
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	srv, err := New(Config{
+		Index:     net.MustBuild(rangereach.ThreeDReach),
+		Logger:    logger,
+		SlowQuery: time.Nanosecond, // every request logs as a slow WARN
+		ShardID:   "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	space := net.Space()
+	region := [4]float64{space.MinX, space.MinY, space.MaxX, space.MaxY}
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	body, err := json.Marshal(queryRequest{Vertex: 0, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doTraced := func() queryResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traced query status %d", resp.StatusCode)
+		}
+		var qr queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+
+	// Fresh traced query: shard + trace id + real execution stats.
+	qr := doTraced()
+	if qr.Shard != "3" || qr.TraceID != traceID {
+		t.Fatalf("traced response shard=%q trace_id=%q, want 3 / %s", qr.Shard, qr.TraceID, traceID)
+	}
+	if qr.Stats == nil || qr.Stats.CacheHit || len(qr.Stats.Stages) == 0 {
+		t.Fatalf("traced response stats = %+v, want a fresh execution profile", qr.Stats)
+	}
+	// Repeat from the cache: stats still ride back, flagged as a hit,
+	// so the router's stitched trace shows where the answer came from.
+	qr = doTraced()
+	if !qr.Cached || qr.Stats == nil || !qr.Stats.CacheHit {
+		t.Fatalf("cached traced response = %+v, want cache-hit stats", qr)
+	}
+
+	// Every request above elevated to a slow WARN carrying both
+	// correlation fields.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log records, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec["level"] != "WARN" || rec["msg"] != "slow request" {
+			t.Errorf("record not a slow WARN: %v", rec)
+		}
+		if rec["shard"] != "3" {
+			t.Errorf("slow WARN missing shard id: %v", rec)
+		}
+		if rec["trace_id"] != traceID {
+			t.Errorf("slow WARN missing trace id: %v", rec)
+		}
+	}
+
+	// The federation-facing families are present: the hit ratio
+	// reflects the 1-hit/2-lookup history and the in-flight gauge is
+	// labeled with this shard's id.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"# TYPE rr_cache_hit_ratio gauge",
+		"rr_cache_hit_ratio 0.5",
+		`rr_shard_inflight{shard="3"}`,
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

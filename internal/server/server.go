@@ -74,6 +74,12 @@ type Config struct {
 	// and attaching the profile to the request log. Zero disables
 	// sampling; cache hits are never traced (no engine work to profile).
 	TraceSample int
+	// ShardID labels this process with its shard id when it serves one
+	// partition of a cluster (rrserve -shard). It tags the request log,
+	// the slow-query warnings and a shard-labeled in-flight gauge so
+	// single-tier logs and metrics join the router's cluster view.
+	// Empty means standalone.
+	ShardID string
 }
 
 // Server answers RangeReach queries over HTTP. Create with New, expose
@@ -180,6 +186,24 @@ func New(cfg Config) (*Server, error) {
 			n = 4096
 		}
 		s.cache = newQueryCache(n)
+		// The ratio the hit/miss counters only yield after PromQL math,
+		// precomputed at scrape time: hits / lookups, 0 before any lookup.
+		s.reg.GaugeFunc("rr_cache_hit_ratio", "Result cache hits as a fraction of lookups.",
+			func() float64 {
+				hits, misses := float64(s.mHits.Value()), float64(s.mMisses.Value())
+				if hits+misses == 0 {
+					return 0
+				}
+				return hits / (hits + misses)
+			})
+	}
+	if cfg.ShardID != "" {
+		// A shard-labeled mirror of the in-flight gauge, so the federated
+		// cluster view can attribute load per shard without label rewrites.
+		s.reg.GaugeFunc(
+			fmt.Sprintf("rr_shard_inflight{shard=%q}", cfg.ShardID),
+			"Requests currently in flight on this shard.",
+			func() float64 { return float64(s.mInflight.Value()) })
 	}
 	if cfg.Dynamic != nil {
 		s.mSnapBuild = s.reg.Histogram(
@@ -281,7 +305,7 @@ func (s *Server) logRequest(r *http.Request, sw *statusWriter, elapsed time.Dura
 	if !s.cfg.Logger.Enabled(context.Background(), level) {
 		return
 	}
-	attrs := make([]slog.Attr, 0, 5+len(sw.attrs))
+	attrs := make([]slog.Attr, 0, 7+len(sw.attrs))
 	attrs = append(attrs,
 		slog.Uint64("req", s.reqID.Add(1)),
 		slog.String("method", r.Method),
@@ -289,6 +313,15 @@ func (s *Server) logRequest(r *http.Request, sw *statusWriter, elapsed time.Dura
 		slog.Int("status", status),
 		slog.Duration("elapsed", elapsed),
 	)
+	// The cluster-correlation fields: the shard this process serves and
+	// the distributed trace id the router (or client) stamped on the
+	// request, so a slow-query WARN greps straight to its cluster trace.
+	if s.cfg.ShardID != "" {
+		attrs = append(attrs, slog.String("shard", s.cfg.ShardID))
+	}
+	if id, _, ok := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); ok {
+		attrs = append(attrs, slog.String("trace_id", id))
+	}
 	attrs = append(attrs, sw.attrs...)
 	s.cfg.Logger.LogAttrs(context.Background(), level, msg, attrs...)
 }
@@ -325,6 +358,15 @@ type queryResponse struct {
 	Cached    bool   `json:"cached"`
 	Gen       uint64 `json:"gen"`
 	Micros    int64  `json:"micros"`
+	// Shard echoes Config.ShardID on traced responses so the router can
+	// attribute the stats without trusting its own placement view.
+	Shard string `json:"shard,omitempty"`
+	// TraceID echoes the incoming traceparent's trace id; set only on
+	// traced requests.
+	TraceID string `json:"trace_id,omitempty"`
+	// Stats is the query's execution profile; present only when the
+	// request carried a traceparent header (the distributed-trace path).
+	Stats *rangereach.QueryStats `json:"stats,omitempty"`
 }
 
 type batchRequest struct {
@@ -468,15 +510,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "vertex %d out of range [0,%d)", req.Vertex, v.numVertices())
 		return
 	}
+	// A valid traceparent (stamped by rrrouter's scatter-gather or a
+	// -trace client) makes this request part of a distributed trace: the
+	// engine runs through the Explain path and the profile rides back in
+	// the response for the router to stitch.
+	traceID, _, traced := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
 	rect := rangereach.NewRect(req.Region[0], req.Region[1], req.Region[2], req.Region[3])
 	key := cacheKey{vertex: req.Vertex, region: rect}
 	if s.cache != nil {
 		if val, ok := s.cache.Get(key, v.gen); ok {
 			s.mHits.Inc()
-			s.writeJSON(w, http.StatusOK, queryResponse{
+			resp := queryResponse{
 				Reachable: val, Cached: true, Gen: v.gen,
 				Micros: time.Since(start).Microseconds(),
-			})
+			}
+			if traced {
+				resp.Shard, resp.TraceID = s.cfg.ShardID, traceID
+				resp.Stats = &rangereach.QueryStats{Method: s.methodName(), CacheHit: true}
+			}
+			s.writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		s.mMisses.Inc()
@@ -489,11 +541,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var ans bool
-	if s.shouldTrace() {
+	var stats *rangereach.QueryStats
+	if traced || s.shouldTrace() {
 		var qs rangereach.QueryStats
 		ans, qs = v.explain(req.Vertex, rect)
 		s.observeStages(qs)
 		annotate(w, slog.String("trace", qs.String()))
+		if traced {
+			stats = &qs
+		}
 	} else {
 		ans = v.rangeReach(req.Vertex, rect)
 	}
@@ -502,10 +558,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(key, v.gen, ans)
 	}
 	annotate(w, slog.Int("vertex", req.Vertex), slog.Bool("reachable", ans))
-	s.writeJSON(w, http.StatusOK, queryResponse{
+	resp := queryResponse{
 		Reachable: ans, Gen: v.gen,
 		Micros: time.Since(start).Microseconds(),
-	})
+	}
+	if traced {
+		resp.Shard, resp.TraceID, resp.Stats = s.cfg.ShardID, traceID, stats
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type explainResponse struct {
