@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/incr"
 	"repro/internal/labeling"
 	"repro/internal/workload"
 )
@@ -217,14 +218,14 @@ func BenchmarkFig7Selectivity(b *testing.B) {
 }
 
 // BenchmarkDynamicUpdates measures the incremental engine's update
-// throughput (paper §8 future work): alternating edge insertions and
-// queries on a growing network.
+// throughput (paper §8 future work): alternating edge insertions,
+// deletions and queries on a changing network.
 func BenchmarkDynamicUpdates(b *testing.B) {
 	benchSetup()
 	ds := 2 // weeplaces-like, the smallest preset
-	for _, op := range []string{"add-edge", "add-venue", "query"} {
+	for _, op := range []string{"add-edge", "del-edge", "add-venue", "query"} {
 		b.Run(benchNets[ds].Name+"/"+op, func(b *testing.B) {
-			e := core.NewDynamicThreeDReach(benchPreps[ds], core.ThreeDOptions{})
+			e := incr.New(benchPreps[ds], incr.Options{})
 			qs := benchGens[ds].Batch(256, workload.DefaultExtent, workload.DefaultDegreeBucket)
 			n := e.NumVertices()
 			b.ResetTimer()
@@ -232,6 +233,11 @@ func BenchmarkDynamicUpdates(b *testing.B) {
 				switch op {
 				case "add-edge":
 					_ = e.AddEdge(i%n, (i*7+1)%n)
+				case "del-edge":
+					// Insert-then-delete so every iteration has an edge
+					// to remove.
+					_ = e.AddEdge(i%n, (i*11+3)%n)
+					_ = e.DeleteEdge(i%n, (i*11+3)%n)
 				case "add-venue":
 					e.AddVenue(float64(i%100), float64((i*13)%100))
 				default:

@@ -41,10 +41,12 @@ if [[ "${1:-}" != "-short" ]]; then
     # out on, the serving subsystem (snapshot swaps, result cache,
     # metrics), the adaptive planner (lock-free coefficient EMA,
     # pin state, concurrent Auto routing — including the parity suite
-    # in ./internal/core), and the sharded-serving tier (scatter-gather
-    # fan-out, hedging, health mark-down, shard partitioning).
+    # in ./internal/core), the sharded-serving tier (scatter-gather
+    # fan-out, hedging, health mark-down, shard partitioning), and the
+    # incremental-maintenance engine (randomized update-stream
+    # equivalence against a from-scratch oracle).
     echo "== go test -race (concurrency surfaces) =="
-    go test -race . ./internal/pool ./internal/server ./internal/metrics ./internal/core ./internal/planner ./internal/router ./internal/shard
+    go test -race . ./internal/pool ./internal/server ./internal/metrics ./internal/core ./internal/planner ./internal/router ./internal/shard ./internal/incr
 
     # The trace hook sits on every query's hot path; run the overhead
     # benchmark under the race detector so the instrumentation itself is
@@ -69,7 +71,7 @@ go run ./cmd/rrbench -exp table3 -scale 0.05 -queries 20 \
 # hard. No python dependency: the old `python3 -c … || grep` fallback
 # silently passed valid-prefix garbage wherever python3 was missing.
 go run ./cmd/rrbench -compare /tmp/rrbench-smoke.json /tmp/rrbench-smoke.json >/dev/null
-grep -q '"schema": "rrbench/v3"' /tmp/rrbench-smoke.json
+grep -q '"schema": "rrbench/v4"' /tmp/rrbench-smoke.json
 # The adaptive composite must appear both as a method row and in the
 # region sweep (the planner's acceptance surface).
 grep -q '"method": "Auto"' /tmp/rrbench-smoke.json
@@ -149,6 +151,22 @@ if [[ "${1:-}" != "-short" ]]; then
     grep -q 'span name=fanout tier=router' "$SMOKE_DIR/trace.txt"
     grep -q 'span name=shard_call tier=shard shard=0' "$SMOKE_DIR/trace.txt"
     grep -q 'span name=shard_call tier=shard shard=1' "$SMOKE_DIR/trace.txt"
+
+    # Update-churn smoke: a standalone dynamic rrserve absorbs a mixed
+    # closed-loop update stream while queries run. -check-publish
+    # deep-validates every published snapshot, so an incremental-
+    # maintenance bug surfaces as a 5xx that -fail-on-error turns into
+    # a CI failure; rrload independently fails the run when the index
+    # generation ever regresses across update responses.
+    echo "== update churn =="
+    "$SMOKE_DIR/rrserve" -synthetic gowalla-like -scale 0.2 -seed 3 \
+        -dynamic -check-publish -addr 127.0.0.1:18750 -log off &
+    SMOKE_PIDS="$SMOKE_PIDS $!"
+    "$SMOKE_DIR/rrload" -target http://127.0.0.1:18750 -rate 150 \
+        -update-rate 50 -duration 3s -wait 30s -fail-on-error \
+        -space 0,0,100,100 -json > "$SMOKE_DIR/churn.json"
+    grep -q '"gen_monotonic": true' "$SMOKE_DIR/churn.json"
+    ! grep -q '"update_errors"' "$SMOKE_DIR/churn.json"
 
     # Live inspector in its script mode: one ANSI-free snapshot whose
     # shard table shows both shards scraped and healthy.

@@ -9,6 +9,7 @@
 //
 //	rrload -target http://127.0.0.1:8080 -rate 500 -duration 30s
 //	rrload -target ... -zipf-s 1.3 -hot-frac 0.5 -slo 50ms -fail-on-error
+//	rrload -target ... -rate 200 -update-rate 50 -fail-on-error
 //
 // The workload skews like production traffic: vertex popularity is
 // zipfian (a random rank-to-vertex mapping keeps hot vertices spread
@@ -17,10 +18,21 @@
 // extent are discovered from the target's /healthz and can be
 // overridden with -vertices / -space.
 //
+// -update-rate N runs a concurrent update stream against the same
+// target's /v1/update (rrserve -dynamic, or rrrouter fronting dynamic
+// shards) while the query load is in flight. Unlike the query stream
+// it is closed-loop — each op waits for its response, because later
+// ops depend on earlier answers (deletes target edges the stream
+// added, moves target venues it created, new vertex ids widen the id
+// space). The stream asserts that the published generation in every
+// response is non-decreasing; a regression fails the run regardless
+// of -fail-on-error, since it means readers saw time go backwards.
+//
 // -json emits the report as a single "rrload/v1" JSON document on
 // stdout: achieved rate, per-outcome counts (ok, status_NNN, timeout,
 // network, decode), exact percentiles from the full sample set, and
-// the SLO verdict. -trace sends a W3C traceparent with every request
+// the SLO verdict. Update-stream fields (updates, update_errors,
+// last_gen, gen_monotonic) are additive, so the schema stays v1. -trace sends a W3C traceparent with every request
 // so a fronting rrrouter collects all of them, then fetches the
 // slowest request's stitched trace from /v1/trace/{id} and prints the
 // per-shard breakdown (to stderr under -json, keeping stdout machine
@@ -85,6 +97,16 @@ type report struct {
 	// is on; fetch it from the router's /v1/trace/{id} for the stitched
 	// per-shard breakdown.
 	SlowestTraceID string `json:"slowest_trace_id,omitempty"`
+	// Update-stream fields, populated when -update-rate > 0. These are
+	// additive to the v1 schema: a plain query run omits them.
+	Updates        int              `json:"updates,omitempty"`
+	UpdateErrors   int              `json:"update_errors,omitempty"`
+	UpdateOutcomes map[string]int64 `json:"update_outcomes,omitempty"`
+	LastGen        uint64           `json:"last_gen,omitempty"`
+	// GenMonotonic is false when any update response reported a lower
+	// generation than an earlier one — a serving bug, and an exit-1
+	// condition independent of -fail-on-error. True when no updates ran.
+	GenMonotonic bool `json:"gen_monotonic"`
 }
 
 func main() {
@@ -105,6 +127,7 @@ func main() {
 		failErr  = flag.Bool("fail-on-error", false, "exit 1 when any request fails")
 		jsonOut  = flag.Bool("json", false, "emit the report as rrload/v1 JSON on stdout")
 		doTrace  = flag.Bool("trace", false, "send a traceparent with every request and print the slowest request's stitched trace (target must be rrrouter)")
+		updRate  = flag.Float64("update-rate", 0, "offered update ops per second against /v1/update while queries run (0 disables; target must serve a dynamic index)")
 	)
 	flag.Parse()
 
@@ -155,7 +178,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	var (
+		updSt   updateStats
+		updStop chan struct{}
+		updDone chan struct{}
+	)
+	if *updRate > 0 {
+		updStop, updDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(updDone)
+			updSt = runUpdates(client, base, *updRate, nv, space, *seed, updStop)
+		}()
+	}
+
 	rep := run(client, base+"/v1/query", payloads, *rate, *doTrace)
+	rep.GenMonotonic = true
+	if *updRate > 0 {
+		close(updStop)
+		<-updDone
+		rep.Updates = updSt.sent
+		rep.UpdateErrors = updSt.errors
+		rep.UpdateOutcomes = updSt.outcomes
+		rep.LastGen = updSt.lastGen
+		rep.GenMonotonic = updSt.monotonic
+		rep.ErrorExamples = append(rep.ErrorExamples, updSt.examples...)
+	}
 	rep.Schema = reportSchema
 	rep.Target = base
 	rep.Rate = *rate
@@ -182,11 +229,14 @@ func main() {
 	}
 
 	switch {
+	case !rep.GenMonotonic:
+		fmt.Fprintln(os.Stderr, "rrload: update generation regressed — readers observed time going backwards")
+		os.Exit(1)
 	case rep.SLOViolated:
 		fmt.Fprintf(os.Stderr, "rrload: SLO violated: p99 %v > %v\n", rep.Latency.P99, *slo)
 		os.Exit(1)
-	case *failErr && rep.Errors > 0:
-		fmt.Fprintf(os.Stderr, "rrload: %d request errors\n", rep.Errors)
+	case *failErr && (rep.Errors > 0 || rep.UpdateErrors > 0):
+		fmt.Fprintf(os.Stderr, "rrload: %d query errors, %d update errors\n", rep.Errors, rep.UpdateErrors)
 		os.Exit(1)
 	}
 }
@@ -347,6 +397,148 @@ func run(client *http.Client, url string, payloads [][]byte, rate float64, trace
 	return rep
 }
 
+// updateBody is the /v1/update wire format shared by rrserve and
+// rrrouter.
+type updateBody struct {
+	Op     string  `json:"op"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Vertex int     `json:"vertex"`
+}
+
+// updateStats aggregates the closed-loop update stream's outcome.
+type updateStats struct {
+	sent      int
+	errors    int
+	outcomes  map[string]int64
+	lastGen   uint64
+	monotonic bool
+	examples  []string
+}
+
+// runUpdates drives a closed-loop update stream against /v1/update at
+// roughly rate ops/sec until stop closes. Closed-loop is deliberate:
+// the op mix is stateful — deletes target edges this stream added,
+// moves target venues it created, and new vertex ids from add_user /
+// add_venue widen the id space for later edges — so each op needs its
+// predecessor's answer. If the server can't keep up, the achieved
+// update rate degrades instead of requests piling up.
+//
+// Every 200 response carries the published snapshot generation; the
+// stream records the high-water mark and flags any regression, which
+// would mean the server published snapshots out of order.
+func runUpdates(client *http.Client, base string, rate float64, nv int, space [4]float64, seed int64, stop <-chan struct{}) updateStats {
+	st := updateStats{outcomes: make(map[string]int64), monotonic: true}
+	rng := rand.New(rand.NewSource(seed + 0x5eed))
+	tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer tick.Stop()
+
+	var (
+		edges    [][2]int        // edges this stream added and has not yet deleted
+		edgeSeen map[[2]int]bool // engines dedup edges, so the tracked set must too
+		venues   []int           // venue ids this stream created (safe move targets)
+	)
+	edgeSeen = make(map[[2]int]bool)
+	randPoint := func() (float64, float64) {
+		return space[0] + rng.Float64()*(space[2]-space[0]),
+			space[1] + rng.Float64()*(space[3]-space[1])
+	}
+
+	for {
+		select {
+		case <-stop:
+			return st
+		case <-tick.C:
+		}
+
+		var body updateBody
+		switch k := rng.Intn(10); {
+		case k < 1:
+			body = updateBody{Op: "add_user"}
+		case k < 3:
+			x, y := randPoint()
+			body = updateBody{Op: "add_venue", X: x, Y: y}
+		case k < 5 && len(edges) > 0:
+			i := rng.Intn(len(edges))
+			e := edges[i]
+			edges[i] = edges[len(edges)-1]
+			edges = edges[:len(edges)-1]
+			delete(edgeSeen, e)
+			body = updateBody{Op: "del_edge", From: e[0], To: e[1]}
+		case k < 7 && len(venues) > 0:
+			x, y := randPoint()
+			body = updateBody{Op: "move_venue", Vertex: venues[rng.Intn(len(venues))], X: x, Y: y}
+		default:
+			u, v := rng.Intn(nv), rng.Intn(nv)
+			body = updateBody{Op: "add_edge", From: u, To: v}
+		}
+
+		st.sent++
+		buf, err := json.Marshal(body)
+		if err != nil {
+			panic(err) // struct marshal cannot fail
+		}
+		resp, err := client.Post(base+"/v1/update", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			st.errors++
+			st.outcomes[errKind(err)]++
+			if len(st.examples) < 3 {
+				st.examples = append(st.examples, "update: "+err.Error())
+			}
+			continue
+		}
+		var ur struct {
+			ID  *int   `json:"id"`
+			Gen uint64 `json:"gen"`
+		}
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ur)
+		_ = resp.Body.Close()
+		switch {
+		case resp.StatusCode != http.StatusOK:
+			st.errors++
+			st.outcomes["status_"+strconv.Itoa(resp.StatusCode)]++
+			if len(st.examples) < 3 {
+				st.examples = append(st.examples, "update "+body.Op+": status "+strconv.Itoa(resp.StatusCode))
+			}
+		case decErr != nil:
+			st.errors++
+			st.outcomes["decode"]++
+			if len(st.examples) < 3 {
+				st.examples = append(st.examples, "update decode: "+decErr.Error())
+			}
+		default:
+			st.outcomes["ok"]++
+			if ur.Gen < st.lastGen {
+				st.monotonic = false
+			}
+			if ur.Gen > st.lastGen {
+				st.lastGen = ur.Gen
+			}
+			switch body.Op {
+			case "add_user", "add_venue":
+				if ur.ID != nil {
+					if *ur.ID >= nv {
+						nv = *ur.ID + 1
+					}
+					if body.Op == "add_venue" {
+						venues = append(venues, *ur.ID)
+					}
+				}
+			case "add_edge":
+				// Engines drop self-loops and duplicate edges, so only a
+				// novel non-loop edge is a safe future delete target.
+				e := [2]int{body.From, body.To}
+				if e[0] != e[1] && !edgeSeen[e] {
+					edgeSeen[e] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+	}
+}
+
 // errKind classifies a transport-level failure: a client-side deadline
 // reads "timeout", everything else (refused connection, reset, DNS)
 // reads "network".
@@ -427,6 +619,14 @@ func formatReport(r report) string {
 			fmt.Fprintf(&b, " %s=%d", k, r.Outcomes[k])
 		}
 		b.WriteByte('\n')
+	}
+	if r.Updates > 0 {
+		verdict := "monotonic"
+		if !r.GenMonotonic {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(&b, "updates    %d (%d errors) last_gen=%d generation %s\n",
+			r.Updates, r.UpdateErrors, r.LastGen, verdict)
 	}
 	fmt.Fprintf(&b, "latency    p50=%v p95=%v p99=%v p999=%v max=%v\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.P999, r.Latency.Max)

@@ -26,7 +26,11 @@
 // -check deep-validates the index invariants (interval labels,
 // condensation acyclicity, spatial tree containment) after the build or
 // load and refuses to start if any fail — useful when serving an index
-// file of uncertain provenance.
+// file of uncertain provenance. -check-publish extends that to dynamic
+// mode at runtime: every snapshot is validated before it is published,
+// so a patching bug can never become visible to readers. -full-rebuild-updates
+// switches the dynamic index to the full-rebuild reference arm (A/B
+// against incremental patching).
 //
 // Observability: -log picks the request-log format (text, json, off),
 // -slow-query elevates slow requests to warnings, -trace-sample N runs
@@ -74,6 +78,8 @@ func main() {
 		traceN    = flag.Int("trace-sample", 0, "trace every Nth query into the rr_stage_seconds histograms (0 disables)")
 		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; keep private)")
 		checkIdx  = flag.Bool("check", false, "deep-validate index invariants before serving; refuse to start on failure")
+		checkPub  = flag.Bool("check-publish", false, "deep-validate every dynamic snapshot before publishing it (requires -dynamic); failing batches get 500 and readers keep the last good snapshot")
+		fullRB    = flag.Bool("full-rebuild-updates", false, "absorb dynamic updates by full rebuild instead of incremental patching (requires -dynamic); the A/B reference arm")
 		shardID   = flag.Int("shard", -1, "shard id this process serves in a cluster; tags logs and metrics (-1 = standalone)")
 	)
 	flag.Parse()
@@ -102,6 +108,11 @@ func main() {
 	if *shardID >= 0 {
 		cfg.ShardID = strconv.Itoa(*shardID)
 	}
+	if (*checkPub || *fullRB) && !*dynamic {
+		fmt.Fprintln(os.Stderr, "rrserve: -check-publish and -full-rebuild-updates require -dynamic")
+		os.Exit(2)
+	}
+	cfg.CheckPublish = *checkPub
 	mode := "static"
 	var buildOpts []rangereach.Option
 	if *buildJ > 0 {
@@ -110,6 +121,9 @@ func main() {
 	switch {
 	case *dynamic:
 		mode = "dynamic"
+		if *fullRB {
+			buildOpts = append(buildOpts, rangereach.WithFullRebuildUpdates())
+		}
 		cfg.Dynamic = net.BuildDynamic(buildOpts...)
 	case *loadIdx != "":
 		cfg.Index, err = net.LoadIndexFile(*loadIdx)

@@ -3,31 +3,33 @@ package rangereach
 import (
 	"runtime"
 
-	"repro/internal/core"
+	"repro/internal/incr"
 )
 
 // DynamicIndex is an updatable 3DReach index: it answers RangeReach
-// queries while the network grows — new users, new venues, new follow
-// and check-in edges (the paper's §8 future-work direction). Post-order
-// numbers are append-only, so updates never invalidate the spatial
-// index; only the interval labels of affected vertices change.
+// queries while the network changes — new users and venues, added and
+// deleted follow/check-in edges, venues moving. Updates are absorbed
+// incrementally (internal/incr): a cycle-closing insert merges the
+// affected strongly-connected components into one super-vertex, a
+// delete splits its component lazily with a bounded recompute
+// frontier, and interval labels are re-derived only over the affected
+// ancestor cone, falling back to a full rebuild when patching would
+// cost more (see WithFullRebuildUpdates for the A/B escape hatch).
 //
 // A DynamicIndex has a single-writer concurrency model: updates and
 // direct queries must be issued from one goroutine (or be externally
 // serialized), but Snapshot returns an immutable view that any number
-// of goroutines may query concurrently while the writer keeps updating.
-// This is the primitive behind the rrserve snapshot-swap serving mode.
-//
-// Edges that would create a new cycle between existing components are
-// rejected; rebuild via Network.Build after re-adding such edges to the
-// underlying network.
+// of goroutines may query concurrently while the writer keeps
+// updating. This is the primitive behind the rrserve snapshot-swap
+// serving mode.
 type DynamicIndex struct {
-	engine *core.DynamicThreeDReach
+	engine *incr.Index
 }
 
-// BuildDynamic constructs an updatable 3DReach index over the network's
-// current state. Options that apply to the dynamic engine —
-// WithParallelism, WithRTreeFanout — take effect; the rest are ignored.
+// BuildDynamic constructs an updatable 3DReach index over the
+// network's current state. Options that apply to the dynamic engine —
+// WithParallelism, WithRTreeFanout, WithFullRebuildUpdates — take
+// effect; the rest are ignored.
 func (n *Network) BuildDynamic(options ...Option) *DynamicIndex {
 	var cfg buildConfig
 	for _, o := range options {
@@ -36,10 +38,15 @@ func (n *Network) BuildDynamic(options ...Option) *DynamicIndex {
 	if cfg.opts.Parallelism == 0 {
 		cfg.opts.Parallelism = runtime.NumCPU()
 	}
-	if cfg.opts.ThreeD.Parallelism == 0 {
-		cfg.opts.ThreeD.Parallelism = cfg.opts.Parallelism
+	mode := incr.Incremental
+	if cfg.dynFullRebuild {
+		mode = incr.FullRebuild
 	}
-	return &DynamicIndex{engine: core.NewDynamicThreeDReach(n.prep, cfg.opts.ThreeD)}
+	return &DynamicIndex{engine: incr.New(n.prep, incr.Options{
+		Mode:        mode,
+		Fanout:      cfg.opts.ThreeD.Fanout,
+		Parallelism: cfg.opts.Parallelism,
+	})}
 }
 
 // NumVertices returns the current number of vertices, including ones
@@ -52,12 +59,54 @@ func (idx *DynamicIndex) AddUser() int { return idx.engine.AddUser() }
 // AddVenue appends a spatial vertex at (x, y) and returns its id.
 func (idx *DynamicIndex) AddVenue(x, y float64) int { return idx.engine.AddVenue(x, y) }
 
-// AddEdge inserts a follow/check-in edge (from, to). It returns an error
-// if an endpoint is out of range or the edge would create a new cycle.
+// AddEdge inserts a follow/check-in edge (from, to). An edge that
+// closes a cycle merges the affected components instead of being
+// rejected; self-loops and duplicates are no-ops. It returns an error
+// only when an endpoint is out of range.
 func (idx *DynamicIndex) AddEdge(from, to int) error { return idx.engine.AddEdge(from, to) }
 
-// RangeReach reports whether vertex v currently reaches a spatial vertex
-// inside r.
+// DeleteEdge removes the edge (from, to), splitting its component if
+// the deletion breaks a cycle. It returns an error if an endpoint is
+// out of range or the edge does not exist.
+func (idx *DynamicIndex) DeleteEdge(from, to int) error { return idx.engine.DeleteEdge(from, to) }
+
+// MoveVenue relocates venue v to (x, y). It returns an error if v is
+// out of range or not a venue.
+func (idx *DynamicIndex) MoveVenue(v int, x, y float64) error { return idx.engine.MoveVenue(v, x, y) }
+
+// UpdateStats reports how the index has absorbed its updates so far.
+type UpdateStats struct {
+	// Merges counts cycle-closing inserts that merged components.
+	Merges int
+	// Splits counts deletes that split a component.
+	Splits int
+	// ConeRelabels counts bounded ancestor-cone label patches;
+	// RelabeledComps totals the components those passes touched.
+	ConeRelabels   int
+	RelabeledComps int
+	// FullRebuilds counts dirty-fraction fallbacks (in
+	// WithFullRebuildUpdates mode, every absorbed batch).
+	FullRebuilds int
+	// Folds counts overlay folds into the base R-tree.
+	Folds int
+}
+
+// UpdateStats returns the index's update-absorption counters. Call it
+// from the writer, like any other non-snapshot access.
+func (idx *DynamicIndex) UpdateStats() UpdateStats {
+	s := idx.engine.Stats()
+	return UpdateStats{
+		Merges:         s.Merges,
+		Splits:         s.Splits,
+		ConeRelabels:   s.ConeRelabels,
+		RelabeledComps: s.RelabeledComps,
+		FullRebuilds:   s.FullRebuilds,
+		Folds:          s.Folds,
+	}
+}
+
+// RangeReach reports whether vertex v currently reaches a spatial
+// vertex inside r.
 func (idx *DynamicIndex) RangeReach(v int, r Rect) bool {
 	return idx.engine.RangeReach(v, r.internal())
 }
@@ -71,7 +120,7 @@ func (idx *DynamicIndex) MemoryBytes() int64 { return idx.engine.MemoryBytes() }
 // single writer. Taking a snapshot costs O(vertices) slice-header
 // copies; the bulk spatial structure is shared, never copied.
 type DynamicSnapshot struct {
-	snap *core.DynamicSnapshot
+	snap *incr.Snapshot
 }
 
 // Snapshot captures the index's current state. Must be called from the

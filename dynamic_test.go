@@ -45,12 +45,50 @@ func TestDynamicIndex(t *testing.T) {
 		t.Error("MemoryBytes not positive")
 	}
 
-	// Cycle rejection surfaces as an error.
-	if err := idx.AddEdge(2, follower); err == nil {
-		t.Error("cycle-creating edge accepted")
+	// A cycle-closing edge merges c and the follower into one
+	// component instead of erroring; both keep their reach.
+	if err := idx.AddEdge(2, follower); err != nil {
+		t.Errorf("cycle-closing edge rejected: %v", err)
 	}
+	if s := idx.UpdateStats(); s.Merges != 1 {
+		t.Errorf("Merges = %d after the cycle-closing insert, want 1", s.Merges)
+	}
+	if !idx.RangeReach(2, region) || !idx.RangeReach(follower, region) {
+		t.Error("merged component lost the venue")
+	}
+	if err := idx.Validate(); err != nil {
+		t.Errorf("validate after merge: %v", err)
+	}
+
+	// The cycle can be taken apart again: deleting the follow edge
+	// splits the component and the follower loses the venue.
+	if err := idx.DeleteEdge(follower, 2); err != nil {
+		t.Fatal(err)
+	}
+	if idx.RangeReach(follower, region) {
+		t.Error("follower kept the venue after unfollowing")
+	}
+	if !idx.RangeReach(2, region) {
+		t.Error("c lost its own venue after the split")
+	}
+
+	// Moving the venue out of R flips c's answer without any graph
+	// change; the venue answers at its new location.
+	if err := idx.MoveVenue(venue, 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	if idx.RangeReach(2, region) {
+		t.Error("c still reaches R after its only venue there moved away")
+	}
+	if !idx.RangeReach(2, rangereach.NewRect(0, 0, 10, 10)) {
+		t.Error("c does not reach the venue's new location")
+	}
+
 	if err := idx.AddEdge(0, 99); err == nil {
 		t.Error("out-of-range edge accepted")
+	}
+	if err := idx.DeleteEdge(0, 99); err == nil {
+		t.Error("out-of-range delete accepted")
 	}
 }
 

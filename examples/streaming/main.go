@@ -34,7 +34,7 @@ func main() {
 	center := rangereach.NewRect(cx-8, cy-8, cx+8, cy+8)
 
 	rng := rand.New(rand.NewSource(7))
-	var users, venues, follows, checkins, rejected, queries int
+	var users, venues, follows, checkins, queries int
 	watch := make([]int, 0, 16) // recently added users we keep querying
 
 	start := time.Now()
@@ -54,18 +54,16 @@ func main() {
 			}
 			idx.AddVenue(x, y)
 			venues++
-		case 2, 3, 4: // follow
+		case 2, 3, 4: // follow; a cycle-closing follow merges components
 			if err := idx.AddEdge(rng.Intn(idx.NumVertices()), rng.Intn(idx.NumVertices())); err != nil {
-				rejected++ // would close a cycle; fine for a stream
-			} else {
-				follows++
+				log.Fatal(err)
 			}
+			follows++
 		default: // check-in: any vertex -> any vertex works the same way
 			if err := idx.AddEdge(rng.Intn(idx.NumVertices()), rng.Intn(idx.NumVertices())); err != nil {
-				rejected++
-			} else {
-				checkins++
+				log.Fatal(err)
 			}
+			checkins++
 		}
 		// Every 500 events, re-check the watched users against the
 		// city center.
@@ -77,8 +75,11 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("replayed 8000 events in %v: +%d users, +%d venues, +%d follows, +%d checkins (%d cycle-rejections), %d queries inline\n",
-		elapsed, users, venues, follows, checkins, rejected, queries)
+	st := idx.UpdateStats()
+	fmt.Printf("replayed 8000 events in %v: +%d users, +%d venues, +%d follows, +%d checkins, %d queries inline\n",
+		elapsed, users, venues, follows, checkins, queries)
+	fmt.Printf("absorbed incrementally: %d component merges, %d cone relabels, %d full rebuilds\n",
+		st.Merges, st.ConeRelabels, st.FullRebuilds)
 
 	reached := 0
 	for _, u := range watch {

@@ -23,13 +23,17 @@ type PerfReport struct {
 	Parallelism int     `json:"parallelism,omitempty"`
 
 	Datasets []DatasetReport `json:"datasets"`
+	// UpdateChurn carries the dynamic-maintenance experiment when the
+	// update-churn experiment ran before the report was emitted.
+	UpdateChurn []ChurnReport `json:"update_churn,omitempty"`
 }
 
 // PerfSchema identifies the current PerfReport layout. v2 added the
 // Auto composite to the method rows and the region_sweep section; v3
-// added the build parallelism and the per-phase build breakdown (both
-// additive — v2 readers parse v3 reports).
-const PerfSchema = "rrbench/v3"
+// added the build parallelism and the per-phase build breakdown; v4
+// added the update_churn section (all additive — v2 readers parse v4
+// reports).
+const PerfSchema = "rrbench/v4"
 
 // DatasetReport is one dataset's slice of the report.
 type DatasetReport struct {
@@ -132,6 +136,7 @@ func (s *Suite) PerfReport() PerfReport {
 		dr.RegionSweep = s.regionSweep(ds)
 		report.Datasets = append(report.Datasets, dr)
 	}
+	report.UpdateChurn = s.churn
 	return report
 }
 

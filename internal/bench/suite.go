@@ -56,6 +56,9 @@ type Suite struct {
 	gens  []*workload.Generator
 
 	engines map[engineKey]core.BuildResult
+	// churn holds UpdateChurn's results when that experiment ran, so a
+	// -json report emitted afterwards carries them.
+	churn []ChurnReport
 }
 
 type engineKey struct {

@@ -1,0 +1,85 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/intervals"
+)
+
+func TestSparsePosts(t *testing.T) {
+	alive := []bool{true, false, true, true}
+	good := []int32{3, 0, 7, 1}
+	if err := SparsePosts(alive, good, 7); err != nil {
+		t.Fatalf("valid sparse posts rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		post []int32
+		max  int32
+		want string
+	}{
+		{"dead slot with post", []int32{3, 2, 7, 1}, 7, "dead component"},
+		{"post zero on live", []int32{3, 0, 0, 1}, 7, "outside"},
+		{"post past max", []int32{3, 0, 9, 1}, 7, "outside"},
+		{"duplicate post", []int32{3, 0, 3, 1}, 7, "share post"},
+	}
+	for _, tc := range cases {
+		err := SparsePosts(alive, tc.post, tc.max)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := SparsePosts([]bool{true}, []int32{1, 2}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSparseLabels(t *testing.T) {
+	alive := []bool{true, false, true}
+	post := []int32{2, 0, 5}
+	at := func(sets []intervals.Set) labelSource {
+		return func(c int) intervals.Set { return sets[c] }
+	}
+	good := []intervals.Set{intervals.NewSet(1, 2), nil, intervals.NewSet(5, 5)}
+	if err := SparseLabels(alive, post, at(good)); err != nil {
+		t.Fatalf("valid sparse labels rejected: %v", err)
+	}
+	missingOwn := []intervals.Set{intervals.NewSet(1, 1), nil, intervals.NewSet(5, 5)}
+	if err := SparseLabels(alive, post, at(missingOwn)); err == nil {
+		t.Error("label missing own post accepted")
+	}
+	swapped := []intervals.Set{{{Lo: 3, Hi: 1}}, nil, intervals.NewSet(5, 5)}
+	if err := SparseLabels(alive, post, at(swapped)); err == nil {
+		t.Error("swapped interval accepted")
+	}
+}
+
+func TestSparseEdges(t *testing.T) {
+	alive := []bool{true, true, false}
+	post := []int32{5, 2, 0}
+	labels := []intervals.Set{intervals.NewSet(2, 2).Union(intervals.NewSet(5, 5)), intervals.NewSet(2, 2), nil}
+	at := func(c int) intervals.Set { return labels[c] }
+	edgesOf := func(es [][2]int) func(fn func(u, v int)) {
+		return func(fn func(u, v int)) {
+			for _, e := range es {
+				fn(e[0], e[1])
+			}
+		}
+	}
+	if err := SparseEdges(alive, post, at, edgesOf([][2]int{{0, 1}})); err != nil {
+		t.Fatalf("valid edge set rejected: %v", err)
+	}
+	if err := SparseEdges(alive, post, at, edgesOf([][2]int{{1, 0}})); err == nil {
+		t.Error("nesting violation accepted")
+	}
+	if err := SparseEdges(alive, post, at, edgesOf([][2]int{{0, 2}})); err == nil {
+		t.Error("edge to dead component accepted")
+	}
+	if err := SparseEdges(alive, post, at, edgesOf([][2]int{{0, 0}})); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := SparseEdges(alive, post, at, edgesOf([][2]int{{0, 5}})); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}

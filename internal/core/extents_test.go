@@ -39,7 +39,6 @@ func TestAllEnginesAgreeWithExtendedGeometries(t *testing.T) {
 		prep := dataset.Prepare(net)
 		truth := NewNaiveBFS(net)
 		engines := buildAll(t, prep)
-		engines = append(engines, NewDynamicThreeDReach(prep, ThreeDOptions{}))
 		for q := 0; q < 25; q++ {
 			v := rng.Intn(net.NumVertices())
 			r := randomRegion(rng)

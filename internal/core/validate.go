@@ -67,8 +67,6 @@ func ValidateEngine(e Engine) error {
 				return fmt.Errorf("core: Auto member: %w", err)
 			}
 		}
-	case *DynamicThreeDReach:
-		return eng.Validate()
 	}
 	// NaiveBFS and unknown engines: nothing checkable here.
 	return nil
@@ -83,78 +81,5 @@ func validatePointIndex3(p pointIndex3) error {
 		return b.t.Validate()
 	}
 	// The grid backend has no ordering invariant to check.
-	return nil
-}
-
-// Validate deep-checks the dynamic engine: the incremental labeling
-// (bijection, label nesting, acyclicity of the absorbed graph), the
-// base R-tree, and the bookkeeping tying them together — every spatial
-// entry is split between base and overlay exactly once, component ids
-// are in range, and each entry's z coordinate equals the post-order
-// number of its vertex's component.
-func (e *DynamicThreeDReach) Validate() error {
-	if err := check.Dynamic(e.dl); err != nil {
-		return fmt.Errorf("core: 3DReach-Dynamic labeling: %w", err)
-	}
-	if err := e.base.Validate(); err != nil {
-		return fmt.Errorf("core: 3DReach-Dynamic base tree: %w", err)
-	}
-	if got := e.base.Len() + len(e.overlay); got != len(e.entries) {
-		return fmt.Errorf("core: 3DReach-Dynamic: base %d + overlay %d entries != total %d",
-			e.base.Len(), len(e.overlay), len(e.entries))
-	}
-	if len(e.comp) != e.n {
-		return fmt.Errorf("core: 3DReach-Dynamic: %d component ids for %d vertices", len(e.comp), e.n)
-	}
-	nc := e.dl.NumVertices()
-	for v, c := range e.comp {
-		if c < 0 || int(c) >= nc {
-			return fmt.Errorf("core: 3DReach-Dynamic: vertex %d maps to component %d outside [0,%d)", v, c, nc)
-		}
-	}
-	for i, ent := range e.entries {
-		v := int(ent.ID)
-		if v < 0 || v >= e.n {
-			return fmt.Errorf("core: 3DReach-Dynamic: entry %d names vertex %d outside [0,%d)", i, v, e.n)
-		}
-		want := float64(e.dl.PostOf(int(e.comp[v])))
-		if ent.Box.Min.Z != want || ent.Box.Max.Z != want {
-			return fmt.Errorf("core: 3DReach-Dynamic: entry %d (vertex %d) has z [%g,%g], want post %g",
-				i, v, ent.Box.Min.Z, ent.Box.Max.Z, want)
-		}
-	}
-	return nil
-}
-
-// Validate deep-checks a published snapshot: the captured labeling view
-// and base tree, and the same component and z-coordinate bookkeeping as
-// the live engine, restricted to what the snapshot carries.
-func (s *DynamicSnapshot) Validate() error {
-	if err := check.View(s.view); err != nil {
-		return fmt.Errorf("core: snapshot labeling: %w", err)
-	}
-	if err := s.base.Validate(); err != nil {
-		return fmt.Errorf("core: snapshot base tree: %w", err)
-	}
-	if len(s.comp) != s.n {
-		return fmt.Errorf("core: snapshot: %d component ids for %d vertices", len(s.comp), s.n)
-	}
-	nc := s.view.NumVertices()
-	for v, c := range s.comp {
-		if c < 0 || int(c) >= nc {
-			return fmt.Errorf("core: snapshot: vertex %d maps to component %d outside [0,%d)", v, c, nc)
-		}
-	}
-	for i, ent := range s.overlay {
-		v := int(ent.ID)
-		if v < 0 || v >= s.n {
-			return fmt.Errorf("core: snapshot: overlay entry %d names vertex %d outside [0,%d)", i, v, s.n)
-		}
-		want := float64(s.view.PostOf(int(s.comp[v])))
-		if ent.Box.Min.Z != want || ent.Box.Max.Z != want {
-			return fmt.Errorf("core: snapshot: overlay entry %d (vertex %d) has z [%g,%g], want post %g",
-				i, v, ent.Box.Min.Z, ent.Box.Max.Z, want)
-		}
-	}
 	return nil
 }

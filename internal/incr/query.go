@@ -1,0 +1,94 @@
+package incr
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/intervals"
+	"repro/internal/rtree"
+	"repro/internal/trace"
+)
+
+// qview is the read-only state a RangeReach evaluation needs. Both the
+// live Index and its snapshots evaluate through it, so the two paths
+// cannot drift.
+type qview struct {
+	n       int
+	comp    []int32
+	labels  []intervals.Set
+	base    *rtree.Tree[geom.Box3]
+	overlay []rtree.Entry[geom.Box3]
+	stale   map[int32]struct{}
+	grid    *occGrid
+}
+
+// rangeReach is the standard 3DReach evaluation over patched state:
+// the occupancy grid first (a region with no venues anywhere answers
+// false in a few cell reads), then one cuboid search per label
+// interval against the base tree — skipping tombstoned entries — then
+// the bounded overlay scan.
+func (q qview) rangeReach(v int, r geom.Rect, sp *trace.Span) bool {
+	if v < 0 || v >= q.n {
+		panic(fmt.Sprintf("incr: vertex %d out of range [0,%d)", v, q.n))
+	}
+	if !q.grid.maybe(r) {
+		return false
+	}
+	for _, iv := range q.labels[q.comp[v]] {
+		sp.AddLabels(1)
+		box := geom.Box3FromRect(r, float64(iv.Lo), float64(iv.Hi))
+		t := sp.Start()
+		ok := false
+		if len(q.stale) == 0 {
+			_, ok = q.base.SearchAnyTraced(box, sp)
+		} else {
+			q.base.SearchTraced(box, sp, func(e rtree.Entry[geom.Box3]) bool {
+				if _, dead := q.stale[e.ID]; dead {
+					return true
+				}
+				ok = true
+				return false
+			})
+		}
+		if !ok {
+			sp.AddEntries(len(q.overlay))
+			for _, e := range q.overlay {
+				if e.Box.Intersects(box) {
+					ok = true
+					break
+				}
+			}
+		}
+		sp.End(trace.StageSpatial, t)
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *Index) view() qview {
+	return qview{
+		n:       x.n,
+		comp:    x.comp,
+		labels:  x.labels,
+		base:    x.base,
+		overlay: x.overlay,
+		stale:   x.stale,
+		grid:    x.grid,
+	}
+}
+
+// RangeReach reports whether vertex v currently reaches a spatial
+// vertex intersecting r.
+func (x *Index) RangeReach(v int, r geom.Rect) bool {
+	return x.RangeReachTraced(v, r, nil)
+}
+
+// RangeReachTraced is RangeReach with per-stage instrumentation: label
+// intervals visited, base-tree node/leaf/entry counts, and overlay
+// entry tests all accumulate into sp.
+func (x *Index) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
+	x.ensure()
+	return x.view().rangeReach(v, r, sp)
+}

@@ -1,0 +1,66 @@
+package incr
+
+import (
+	"repro/internal/geom"
+	"repro/internal/intervals"
+	"repro/internal/rtree"
+	"repro/internal/trace"
+)
+
+// Snapshot is an immutable point-in-time view of an Index, safe for
+// concurrent use by any number of goroutines while the owning index
+// keeps absorbing updates on its single writer. It costs O(vertices)
+// slice-header copies plus copies of the bounded overlay, tombstone
+// set and occupancy grid; the base R-tree is shared by pointer since
+// it is only ever replaced, never mutated.
+type Snapshot struct {
+	q       qview
+	spatial []bool
+	post    []int32
+}
+
+// Snapshot captures the index's current state. Must be called from the
+// writer; the returned snapshot itself is freely shareable. Label sets
+// are shared by header — patches replace label sets with freshly
+// merged ones rather than mutating them, which is what makes the share
+// safe.
+func (x *Index) Snapshot() *Snapshot {
+	x.ensure()
+	var stale map[int32]struct{}
+	if len(x.stale) > 0 {
+		stale = make(map[int32]struct{}, len(x.stale))
+		for v := range x.stale {
+			stale[v] = struct{}{}
+		}
+	}
+	return &Snapshot{
+		q: qview{
+			n:       x.n,
+			comp:    append([]int32(nil), x.comp...),
+			labels:  append([]intervals.Set(nil), x.labels...),
+			base:    x.base,
+			overlay: append([]rtree.Entry[geom.Box3](nil), x.overlay...),
+			stale:   stale,
+			grid:    x.grid.clone(),
+		},
+		spatial: append([]bool(nil), x.spatial...),
+		post:    append([]int32(nil), x.post...),
+	}
+}
+
+// NumVertices returns the number of vertices at capture time.
+func (s *Snapshot) NumVertices() int { return s.q.n }
+
+// Name matches the owning index's method name.
+func (s *Snapshot) Name() string { return "3DReach-Dynamic" }
+
+// RangeReach answers the query against the captured state.
+func (s *Snapshot) RangeReach(v int, r geom.Rect) bool {
+	return s.q.rangeReach(v, r, nil)
+}
+
+// RangeReachTraced answers the query against the captured state with
+// the same instrumentation as Index.RangeReachTraced.
+func (s *Snapshot) RangeReachTraced(v int, r geom.Rect, sp *trace.Span) bool {
+	return s.q.rangeReach(v, r, sp)
+}

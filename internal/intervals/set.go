@@ -7,6 +7,7 @@ package intervals
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -260,4 +261,50 @@ func MergeCanonical(a, b Set) Set {
 		pushMerged(b[j])
 	}
 	return out
+}
+
+// MergeManyCanonical merges any number of canonical sets into one new
+// canonical set that aliases none of the inputs. Collecting every
+// interval and sorting once costs O(T log T) for T total intervals;
+// folding MergeCanonical over a long list instead re-scans the growing
+// accumulator on every step, which is quadratic when one vertex has
+// thousands of successors — the hot case in incremental relabeling.
+func MergeManyCanonical(sets []Set) Set {
+	switch len(sets) {
+	case 0:
+		return nil
+	case 1:
+		return sets[0].Clone()
+	case 2:
+		return MergeCanonical(sets[0], sets[1])
+	}
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	// Pack each interval into one uint64 ordered by (Lo, Hi) — flipping
+	// the sign bits preserves int32 order under unsigned comparison —
+	// so the hot sort runs without a comparator callback.
+	keys := make([]uint64, 0, total)
+	for _, s := range sets {
+		for _, iv := range s {
+			keys = append(keys, uint64(uint32(iv.Lo)^1<<31)<<32|uint64(uint32(iv.Hi)^1<<31))
+		}
+	}
+	slices.Sort(keys)
+	out := make(Set, 0, total)
+	for _, key := range keys {
+		iv := Interval{
+			Lo: int32(uint32(key>>32) ^ 1<<31),
+			Hi: int32(uint32(key) ^ 1<<31),
+		}
+		if n := len(out); n > 0 && iv.Lo <= out[n-1].Hi+1 {
+			if iv.Hi > out[n-1].Hi {
+				out[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return slices.Clip(out)
 }

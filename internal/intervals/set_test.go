@@ -102,6 +102,27 @@ func TestMergeCanonical(t *testing.T) {
 	}
 }
 
+func TestMergeManyCanonical(t *testing.T) {
+	f := func(raws [][]uint16) bool {
+		sets := make([]Set, len(raws))
+		want := map[int32]bool{}
+		for i, raw := range raws {
+			sets[i] = setFromRaw(raw).Compress()
+			for p := range coveredPosts(sets[i]) {
+				want[p] = true
+			}
+		}
+		m := MergeManyCanonical(sets)
+		if !m.IsCanonical() {
+			return false
+		}
+		return reflect.DeepEqual(coveredPosts(m), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 // setFromRaw builds intervals from pairs of raw fuzz values.
 func setFromRaw(raw []uint16) Set {
 	var s Set

@@ -224,3 +224,225 @@ func TestShardedWireContract(t *testing.T) {
 		t.Fatalf("query wire format drifted: %s", got)
 	}
 }
+
+// newDynamicE2ECluster is newE2ECluster with every shard serving a
+// dynamic index (with publish-time validation) and a dynamic unsharded
+// oracle, so updates can stream through the router.
+func newDynamicE2ECluster(t *testing.T, net *dataset.Network, nShards int, strategy shard.Strategy) (*e2eCluster, *rangereach.DynamicIndex) {
+	t.Helper()
+	dir := t.TempDir()
+
+	fullPath := filepath.Join(dir, "full.gsn")
+	if err := dataset.SaveFile(fullPath, net); err != nil {
+		t.Fatal(err)
+	}
+	full, err := rangereach.LoadNetwork(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := full.BuildDynamic()
+
+	asn, err := shard.Partition(net, nShards, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := asn.Map(net.Name, net.NumVertices(), net.Space())
+
+	swaps := make([]*swapHandler, nShards)
+	urls := make([]string, nShards)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	rt, err := New(Config{Map: m, Backends: urls, Policy: PolicyFail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	byURL := make(map[string]*swapHandler, nShards)
+	for i, u := range urls {
+		byURL[u] = swaps[i]
+	}
+	for sid := 0; sid < nShards; sid++ {
+		snet, err := asn.ShardNetwork(net, sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spath := filepath.Join(dir, fmt.Sprintf("shard%d.gsn", sid))
+		if err := dataset.SaveFile(spath, snet); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := rangereach.LoadNetwork(spath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Dynamic: loaded.BuildDynamic(), CheckPublish: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		byURL[rt.BackendFor(sid)].set(srv.Handler())
+	}
+	return &e2eCluster{
+		router:   rt,
+		handler:  rt.Handler(),
+		vertices: net.NumVertices(),
+		space:    full.Space(),
+	}, oracle
+}
+
+func postRouterUpdate(t *testing.T, h http.Handler, ureq updateRequest) (int, updateResponse) {
+	t.Helper()
+	body, err := json.Marshal(ureq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/update", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp updateResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	return rec.Code, resp
+}
+
+// TestShardedDynamicUpdates streams a randomized update sequence —
+// users, venues, edges in and out, venue moves — through the router's
+// /v1/update and asserts the cluster keeps answering queries exactly
+// like an unsharded dynamic oracle receiving the same sequence, while
+// the cluster-wide generation advances monotonically.
+func TestShardedDynamicUpdates(t *testing.T) {
+	net := e2eNetwork()
+	c, oracle := newDynamicE2ECluster(t, net, 3, shard.Spatial)
+	rng := rand.New(rand.NewSource(13))
+
+	nVertices := net.NumVertices()
+	var venues []int
+	for v := 0; v < nVertices; v++ {
+		if net.Spatial[v] {
+			venues = append(venues, v)
+		}
+	}
+	edgeSet := make(map[[2]int]bool)
+	var edges [][2]int
+	for u := 0; u < nVertices; u++ {
+		for _, w := range net.Graph.Out(u) {
+			e := [2]int{u, int(w)}
+			edgeSet[e] = true
+			edges = append(edges, e)
+		}
+	}
+
+	space := c.space
+	var lastGen uint64
+	for step := 0; step < 120; step++ {
+		switch k := rng.Intn(10); {
+		case k < 2: // add user
+			code, resp := postRouterUpdate(t, c.handler, updateRequest{Op: "add_user"})
+			if code != http.StatusOK {
+				t.Fatalf("step %d: add_user status %d", step, code)
+			}
+			if id := oracle.AddUser(); resp.ID == nil || *resp.ID != id {
+				t.Fatalf("step %d: add_user id %v, oracle %d", step, resp.ID, id)
+			}
+			nVertices++
+		case k < 4: // add venue
+			x := space.MinX + rng.Float64()*(space.MaxX-space.MinX)
+			y := space.MinY + rng.Float64()*(space.MaxY-space.MinY)
+			code, resp := postRouterUpdate(t, c.handler, updateRequest{Op: "add_venue", X: x, Y: y})
+			if code != http.StatusOK {
+				t.Fatalf("step %d: add_venue status %d", step, code)
+			}
+			if id := oracle.AddVenue(x, y); resp.ID == nil || *resp.ID != id {
+				t.Fatalf("step %d: add_venue id %v, oracle %d", step, resp.ID, id)
+			}
+			if resp.Owner == nil {
+				t.Fatalf("step %d: add_venue returned no owner", step)
+			}
+			venues = append(venues, nVertices)
+			nVertices++
+		case k < 6 && len(edges) > 0: // delete a known edge
+			i := rng.Intn(len(edges))
+			e := edges[i]
+			edges[i] = edges[len(edges)-1]
+			edges = edges[:len(edges)-1]
+			delete(edgeSet, e)
+			code, _ := postRouterUpdate(t, c.handler, updateRequest{Op: "del_edge", From: e[0], To: e[1]})
+			if code != http.StatusOK {
+				t.Fatalf("step %d: del_edge(%d,%d) status %d", step, e[0], e[1], code)
+			}
+			if err := oracle.DeleteEdge(e[0], e[1]); err != nil {
+				t.Fatalf("step %d: oracle del_edge: %v", step, err)
+			}
+		case k < 7 && len(venues) > 0: // move a venue
+			v := venues[rng.Intn(len(venues))]
+			x := space.MinX + rng.Float64()*(space.MaxX-space.MinX)
+			y := space.MinY + rng.Float64()*(space.MaxY-space.MinY)
+			code, resp := postRouterUpdate(t, c.handler, updateRequest{Op: "move_venue", Vertex: v, X: x, Y: y})
+			if code != http.StatusOK {
+				t.Fatalf("step %d: move_venue(%d) status %d", step, v, code)
+			}
+			if resp.Owner == nil {
+				t.Fatalf("step %d: move_venue returned no owner", step)
+			}
+			if err := oracle.MoveVenue(v, x, y); err != nil {
+				t.Fatalf("step %d: oracle move_venue: %v", step, err)
+			}
+		default: // add edge (cycle-closing edges merge cluster-wide)
+			u, v := rng.Intn(nVertices), rng.Intn(nVertices)
+			code, resp := postRouterUpdate(t, c.handler, updateRequest{Op: "add_edge", From: u, To: v})
+			if code != http.StatusOK {
+				t.Fatalf("step %d: add_edge(%d,%d) status %d", step, u, v, code)
+			}
+			if err := oracle.AddEdge(u, v); err != nil {
+				t.Fatalf("step %d: oracle add_edge: %v", step, err)
+			}
+			if u != v && !edgeSet[[2]int{u, v}] {
+				edgeSet[[2]int{u, v}] = true
+				edges = append(edges, [2]int{u, v})
+			}
+			if resp.Gen < lastGen {
+				t.Fatalf("step %d: generation went backwards: %d < %d", step, resp.Gen, lastGen)
+			}
+			lastGen = resp.Gen
+		}
+
+		if step%20 == 19 {
+			for i, q := range c.queries(rng, 25) {
+				rec, resp := postQuery(t, c.handler, q.Vertex, q.Region)
+				if rec.Code != http.StatusOK {
+					t.Fatalf("step %d query %d: status %d: %s", step, i, rec.Code, rec.Body.String())
+				}
+				want := oracle.RangeReach(q.Vertex, rangereach.NewRect(q.Region[0], q.Region[1], q.Region[2], q.Region[3]))
+				if resp.Reachable != want {
+					t.Fatalf("step %d query %d (vertex %d region %v): sharded=%v oracle=%v",
+						step, i, q.Vertex, q.Region, resp.Reachable, want)
+				}
+			}
+		}
+	}
+	if lastGen == 0 {
+		t.Fatal("no add_edge advanced the generation — degenerate op mix")
+	}
+
+	// The cluster view reports the generation high-water mark.
+	req := httptest.NewRequest(http.MethodGet, "/v1/cluster", nil)
+	rec := httptest.NewRecorder()
+	c.handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/cluster status %d: %s", rec.Code, rec.Body.String())
+	}
+	var cresp clusterResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &cresp); err != nil {
+		t.Fatal(err)
+	}
+	if cresp.MaxGeneration < lastGen {
+		t.Fatalf("cluster max_generation %d below last observed update gen %d", cresp.MaxGeneration, lastGen)
+	}
+	for _, s := range cresp.Shards {
+		if s.Gen == 0 {
+			t.Errorf("shard %d reports generation 0 after %d updates", s.ID, 120)
+		}
+	}
+}

@@ -42,8 +42,11 @@ type shardScrape struct {
 	CacheHitRatio float64
 	P50           float64
 	P99           float64
-	Buckets       metrics.Buckets
-	Planner       map[string]float64
+	// Gen is rr_generation, the shard's published dynamic-snapshot
+	// generation; 0 for static shards (which never export the gauge).
+	Gen     float64
+	Buckets metrics.Buckets
+	Planner map[string]float64
 }
 
 // federator holds the latest federated snapshot. The scrape path is
@@ -199,6 +202,7 @@ func digestShard(samples []metrics.Sample, now time.Time) shardScrape {
 	if v, ok := metrics.Value(samples, "rr_cache_hit_ratio", nil); ok {
 		s.CacheHitRatio = v
 	}
+	s.Gen, _ = metrics.Value(samples, "rr_generation", nil)
 	if b, err := metrics.HistogramBuckets(samples, "rr_query_seconds", nil); err == nil && b.Count() > 0 {
 		s.Buckets = b
 		s.P50 = b.Quantile(0.5)
@@ -239,6 +243,10 @@ func (rt *Router) registerClusterMetrics() {
 			"Shard result-cache hit ratio from the last federated scrape; -1 without a cache.",
 			func() float64 { return rt.fed.get(i).CacheHitRatio })
 		rt.reg.GaugeFunc(
+			fmt.Sprintf(`rr_cluster_shard_generation{shard="%d"}`, i),
+			"Shard-reported dynamic snapshot generation from the last federated scrape; 0 for static shards.",
+			func() float64 { return rt.fed.get(i).Gen })
+		rt.reg.GaugeFunc(
 			fmt.Sprintf(`rr_cluster_shard_staleness_seconds{shard="%d"}`, i),
 			"Age of the shard's last federated scrape; -1 before the first one.",
 			func() float64 {
@@ -259,6 +267,18 @@ func (rt *Router) registerClusterMetrics() {
 				return 1
 			})
 	}
+	rt.reg.GaugeFunc(
+		"rr_cluster_max_generation",
+		"Highest dynamic snapshot generation across all shards in the last federated scrape.",
+		func() float64 {
+			var g float64
+			for _, s := range rt.fed.snapshot() {
+				if s.Gen > g {
+					g = s.Gen
+				}
+			}
+			return g
+		})
 	rt.reg.GaugeFunc(
 		"rr_cluster_query_p99_seconds",
 		"99th-percentile shard query latency across the whole cluster, merged bucket-for-bucket from every shard's histogram.",
@@ -287,13 +307,16 @@ type clusterShard struct {
 	// ScrapeError is the last federation failure, "" on success.
 	ScrapeError string `json:"scrape_error,omitempty"`
 	// ScrapeAgeMillis is -1 before the first scrape.
-	ScrapeAgeMillis int64            `json:"scrape_age_ms"`
-	Queries         int64            `json:"queries_total"`
-	Inflight        int64            `json:"inflight"`
-	CacheHitRatio   float64          `json:"cache_hit_ratio"`
-	P50Micros       float64          `json:"p50_micros"`
-	P99Micros       float64          `json:"p99_micros"`
-	Planner         map[string]int64 `json:"planner,omitempty"`
+	ScrapeAgeMillis int64   `json:"scrape_age_ms"`
+	Queries         int64   `json:"queries_total"`
+	Inflight        int64   `json:"inflight"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+	P50Micros       float64 `json:"p50_micros"`
+	P99Micros       float64 `json:"p99_micros"`
+	// Gen is the shard's published dynamic snapshot generation; 0 for
+	// static shards.
+	Gen     uint64           `json:"gen"`
+	Planner map[string]int64 `json:"planner,omitempty"`
 }
 
 // clusterRouter is the router's own corner of the /v1/cluster view.
@@ -315,6 +338,9 @@ type clusterResponse struct {
 	Router clusterRouter  `json:"router"`
 	// ClusterP99Micros merges every shard's latency histogram.
 	ClusterP99Micros float64 `json:"cluster_p99_micros"`
+	// MaxGeneration is the highest dynamic snapshot generation across
+	// the shard set — rrload's churn mode watches it advance.
+	MaxGeneration uint64 `json:"max_generation"`
 }
 
 func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
@@ -338,6 +364,10 @@ func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
 			CacheHitRatio: s.CacheHitRatio,
 			P50Micros:     s.P50 * 1e6,
 			P99Micros:     s.P99 * 1e6,
+			Gen:           uint64(s.Gen),
+		}
+		if row.Gen > resp.MaxGeneration {
+			resp.MaxGeneration = row.Gen
 		}
 		row.ScrapeAgeMillis = -1
 		if !s.When.IsZero() {

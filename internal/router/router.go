@@ -21,6 +21,13 @@
 // per-shard health is tracked passively with mark-down and half-open
 // recovery (see health); slow shards are hedged with a second request
 // after Config.Hedge.
+//
+// When the shards serve dynamic indexes, POST /v1/update routes each
+// mutation to the owning shard(s) — graph ops broadcast to the
+// replicated social graph, venue ops go to their placement owner with
+// id-space-aligning placeholders elsewhere (see update.go) — and
+// GET /v1/cluster reports each shard's snapshot generation plus the
+// cluster-wide maximum.
 package router
 
 import (
@@ -140,12 +147,18 @@ type Router struct {
 	mux       *http.ServeMux
 	client    *http.Client
 	backendOf []string // shard id -> backend base URL
-	bounds    []geom.Rect
-	health    []*health
+	// bounds is the per-shard venue-bounds view, copy-on-write: readers
+	// atomically load the slice, the update path (under updateMu)
+	// replaces it when a new or moved venue grows a shard's bounds.
+	bounds   atomic.Pointer[[]geom.Rect]
+	updateMu sync.Mutex
+	health   []*health
 
 	reg        *metrics.Registry
 	mReqQuery  *metrics.Counter
 	mReqBatch  *metrics.Counter
+	mReqUpdate *metrics.Counter
+	mUpdates   *metrics.Counter
 	mReqErrs   *metrics.Counter
 	mEarlyExit *metrics.Counter
 	mHedges    *metrics.Counter
@@ -198,16 +211,17 @@ func New(cfg Config) (*Router, error) {
 	rt := &Router{
 		cfg:       cfg,
 		backendOf: Placement(n, cfg.Backends, cfg.VNodes),
-		bounds:    make([]geom.Rect, n),
 		health:    make([]*health, n),
 		reg:       metrics.NewRegistry(),
 		ring:      trace.NewRing(cfg.TraceRing),
 		sampler:   &trace.Sampler{N: cfg.TraceSample, Slow: cfg.TraceSlow},
 	}
+	bounds := make([]geom.Rect, n)
 	for i, s := range cfg.Map.Shards {
-		rt.bounds[i] = s.BoundsRect()
+		bounds[i] = s.BoundsRect()
 		rt.health[i] = newHealth(cfg.DownAfter, cfg.DownCooldown, nil)
 	}
+	rt.bounds.Store(&bounds)
 	transport := cfg.Transport
 	if transport == nil {
 		transport = &http.Transport{
@@ -220,6 +234,8 @@ func New(cfg Config) (*Router, error) {
 
 	rt.mReqQuery = rt.reg.Counter(`rr_router_requests_total{endpoint="query"}`, "Router HTTP requests by endpoint.")
 	rt.mReqBatch = rt.reg.Counter(`rr_router_requests_total{endpoint="batch"}`, "Router HTTP requests by endpoint.")
+	rt.mReqUpdate = rt.reg.Counter(`rr_router_requests_total{endpoint="update"}`, "Router HTTP requests by endpoint.")
+	rt.mUpdates = rt.reg.Counter("rr_router_updates_total", "Cluster updates applied across the shard set.")
 	rt.mReqErrs = rt.reg.Counter("rr_router_request_errors_total", "Router requests answered with a non-2xx status.")
 	rt.mEarlyExit = rt.reg.Counter("rr_router_early_exits_total", "Scatter-gathers settled by a positive before every shard answered.")
 	rt.mHedges = rt.reg.Counter("rr_router_hedged_requests_total", "Hedged second attempts launched against slow shards.")
@@ -259,6 +275,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("POST /v1/query", rt.instrument("query", rt.mReqQuery, rt.handleQuery))
 	rt.mux.HandleFunc("POST /v1/batch", rt.instrument("batch", rt.mReqBatch, rt.handleBatch))
+	rt.mux.HandleFunc("POST /v1/update", rt.instrument("update", rt.mReqUpdate, rt.handleUpdate))
 	rt.mux.HandleFunc("GET /v1/trace/{id}", rt.handleTrace)
 	rt.mux.HandleFunc("GET /v1/traces", rt.handleTraces)
 	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
@@ -592,16 +609,21 @@ func firstLine(b []byte) string {
 	return string(b)
 }
 
+// boundsView returns the current per-shard venue bounds. The slice is
+// immutable — the update path replaces, never mutates, it.
+func (rt *Router) boundsView() []geom.Rect { return *rt.bounds.Load() }
+
 // relevantShards returns the shard ids whose venue bounds intersect the
 // query region, counting the pruned remainder.
 func (rt *Router) relevantShards(region geom.Rect) []int {
-	out := make([]int, 0, len(rt.bounds))
-	for sid, b := range rt.bounds {
+	bounds := rt.boundsView()
+	out := make([]int, 0, len(bounds))
+	for sid, b := range bounds {
 		if b.Intersects(region) {
 			out = append(out, sid)
 		}
 	}
-	rt.mPruned.Add(int64(len(rt.bounds) - len(out)))
+	rt.mPruned.Add(int64(len(bounds) - len(out)))
 	return out
 }
 
@@ -615,7 +637,7 @@ func regionRect(r [4]float64) geom.Rect {
 func (rt *Router) placementSpan(tb *traceBuilder, pstart time.Time, kept int) {
 	tb.span("placement", trace.TierRouter, trace.NoShard, pstart, "", map[string]string{
 		"shards": strconv.Itoa(kept),
-		"pruned": strconv.Itoa(len(rt.bounds) - kept),
+		"pruned": strconv.Itoa(len(rt.backendOf) - kept),
 	}, nil)
 }
 
@@ -787,13 +809,14 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Per-shard subsets: each shard sees only the queries whose region
 	// intersects its venue bounds; a query intersecting no shard stays
 	// negative without any network call.
-	subsets := make([][]int, len(rt.bounds))
+	bounds := rt.boundsView()
+	subsets := make([][]int, len(bounds))
 	regions := make([]geom.Rect, len(req.Queries))
 	for i, q := range req.Queries {
 		regions[i] = regionRect(q.Region)
 	}
 	active := 0
-	for sid, b := range rt.bounds {
+	for sid, b := range bounds {
 		for i := range req.Queries {
 			if b.Intersects(regions[i]) {
 				subsets[sid] = append(subsets[sid], i)
@@ -803,7 +826,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			active++
 		}
 	}
-	rt.mPruned.Add(int64(len(rt.bounds) - active))
+	rt.mPruned.Add(int64(len(bounds) - active))
 	rt.placementSpan(tb, start, active)
 	results := make([]bool, len(req.Queries))
 	if active == 0 {

@@ -6,7 +6,7 @@
 //
 //	POST /v1/query   one RangeReach query
 //	POST /v1/batch   a batch, fanned out over RangeReachBatch
-//	POST /v1/update  add_user / add_venue / add_edge (dynamic mode)
+//	POST /v1/update  add_user / add_venue / add_edge / del_edge / move_venue (dynamic mode)
 //	GET  /v1/explain one query with its execution profile (EXPLAIN)
 //	GET  /healthz    liveness + mode + index info
 //	GET  /metrics    Prometheus text exposition
@@ -47,6 +47,14 @@ type Config struct {
 	Index *rangereach.Index
 	// Dynamic serves dynamic mode through the snapshot-swap updater.
 	Dynamic *rangereach.DynamicIndex
+	// CheckPublish makes the dynamic updater deep-validate every
+	// snapshot before publishing it (rrserve -check-publish). A snapshot
+	// that fails validation is never published: readers keep the last
+	// good one, the batch that produced it is failed with 500, and
+	// rr_publish_check_failures_total counts the event. Costs one full
+	// validation pass per publish; intended for soak tests and
+	// correctness-critical deployments.
+	CheckPublish bool
 	// CacheEntries sizes the result cache (default 4096; negative
 	// disables caching).
 	CacheEntries int
@@ -107,6 +115,7 @@ type Server struct {
 	mLatency    *metrics.Histogram
 	mStages     map[string]*metrics.Histogram
 	mSnapBuild  *metrics.Histogram
+	mCheckFails *metrics.Counter
 
 	reqID    atomic.Uint64 // request ids for log correlation
 	traceTik atomic.Uint64 // trace-sampling clock
@@ -132,7 +141,7 @@ func New(cfg Config) (*Server, error) {
 	s.mReqUpdate = s.reg.Counter(`rr_requests_total{endpoint="update"}`, "HTTP requests by endpoint.")
 	s.mQueries = s.reg.Counter("rr_queries_total", "RangeReach queries evaluated, including batch members.")
 	s.mUpdates = s.reg.Counter("rr_updates_total", "Accepted network updates.")
-	s.mUpdErrs = s.reg.Counter("rr_update_errors_total", "Rejected network updates (cycles, bad input).")
+	s.mUpdErrs = s.reg.Counter("rr_update_errors_total", "Rejected network updates (bad input, missing edges).")
 	s.mReqErrs = s.reg.Counter("rr_request_errors_total", "Requests answered with a non-2xx status.")
 	s.mHits = s.reg.Counter("rr_cache_hits_total", "Result cache hits.")
 	s.mMisses = s.reg.Counter("rr_cache_misses_total", "Result cache misses.")
@@ -209,7 +218,14 @@ func New(cfg Config) (*Server, error) {
 		s.mSnapBuild = s.reg.Histogram(
 			`rr_build_seconds{phase="snapshot"}`,
 			"Index build time attributed to each pipeline phase.", nil)
-		s.dyn = newUpdater(cfg.Dynamic, s.mSwaps, s.mSnapBuild)
+		s.mCheckFails = s.reg.Counter("rr_publish_check_failures_total",
+			"Snapshots rejected by publish-time validation (-check-publish).")
+		s.dyn = newUpdater(cfg.Dynamic, s.mSwaps, s.mSnapBuild, cfg.CheckPublish, s.mCheckFails)
+		// The generation advances monotonically with every published
+		// snapshot; rrload's churn mode and the router's cluster view
+		// watch it to confirm updates are flowing.
+		s.reg.GaugeFunc("rr_generation", "Generation of the currently published snapshot.",
+			func() float64 { return float64(s.dyn.current().gen) })
 	}
 
 	s.mux = http.NewServeMux()
@@ -381,11 +397,12 @@ type batchResponse struct {
 }
 
 type updateRequest struct {
-	Op   string  `json:"op"` // add_user | add_venue | add_edge
-	X    float64 `json:"x"`
-	Y    float64 `json:"y"`
-	From int     `json:"from"`
-	To   int     `json:"to"`
+	Op     string  `json:"op"` // add_user | add_venue | add_edge | del_edge | move_venue
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Vertex int     `json:"vertex"` // move_venue: the venue to relocate
 }
 
 type updateResponse struct {
@@ -710,17 +727,24 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		op = updateOp{kind: opAddVenue, x: req.X, y: req.Y}
 	case "add_edge":
 		op = updateOp{kind: opAddEdge, from: req.From, to: req.To}
+	case "del_edge":
+		op = updateOp{kind: opDelEdge, from: req.From, to: req.To}
+	case "move_venue":
+		op = updateOp{kind: opMoveVenue, vertex: req.Vertex, x: req.X, y: req.Y}
 	default:
-		s.writeError(w, http.StatusBadRequest, "unknown op %q (want add_user, add_venue or add_edge)", req.Op)
+		s.writeError(w, http.StatusBadRequest,
+			"unknown op %q (want add_user, add_venue, add_edge, del_edge or move_venue)", req.Op)
 		return
 	}
 	res := s.dyn.submit(r.Context(), op)
 	if res.err != nil {
 		s.mUpdErrs.Inc()
-		status := http.StatusConflict // cycle / out-of-range rejections
+		status := http.StatusConflict // out-of-range / missing-edge rejections
 		switch {
 		case errors.Is(res.err, errClosed):
 			status = http.StatusServiceUnavailable
+		case errors.Is(res.err, errPublishCheck):
+			status = http.StatusInternalServerError
 		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
 			status = http.StatusGatewayTimeout
 		}
@@ -729,7 +753,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mUpdates.Inc()
 	resp := updateResponse{Gen: s.dyn.current().gen}
-	if op.kind != opAddEdge {
+	if op.kind == opAddUser || op.kind == opAddVenue {
 		resp.ID = &res.id
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -228,6 +228,24 @@ func (o *dynOracle) addVertex() int {
 	return len(o.adj) - 1
 }
 
+func (o *dynOracle) hasEdge(u, v int) bool {
+	for _, w := range o.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *dynOracle) delEdge(u, v int) {
+	for i, w := range o.adj[u] {
+		if w == v {
+			o.adj[u] = append(o.adj[u][:i], o.adj[u][i+1:]...)
+			return
+		}
+	}
+}
+
 func (o *dynOracle) rangeReach(v int, region [4]float64) bool {
 	xmin, ymin, xmax, ymax := region[0], region[1], region[2], region[3]
 	inside := func(u int) bool {
@@ -260,12 +278,18 @@ func TestDynamicMixedTraffic(t *testing.T) {
 	const nStart = 60
 	rng := rand.New(rand.NewSource(42))
 
-	// Acyclic base network: edges only low id -> high id.
+	// Acyclic base network: edges only low id -> high id, deduplicated
+	// so the oracle's edge multiset matches the (dedup-on-build) graph.
 	b := rangereach.NewNetworkBuilder(nStart).SetName("dyn-test")
 	var edges [][2]int
+	seenEdge := make(map[[2]int]bool)
 	for i := 0; i < 2*nStart; i++ {
 		u := rng.Intn(nStart - 1)
 		v := u + 1 + rng.Intn(nStart-u-1)
+		if seenEdge[[2]int{u, v}] {
+			continue
+		}
+		seenEdge[[2]int{u, v}] = true
 		b.AddEdge(u, v)
 		edges = append(edges, [2]int{u, v})
 	}
@@ -277,8 +301,15 @@ func TestDynamicMixedTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	oracle := newDynOracle(net, edges)
+	allEdges := append([][2]int(nil), edges...)
+	var venues []int
+	for v := 0; v < nStart; v += 3 {
+		venues = append(venues, v)
+	}
 
-	srv, err := New(Config{Dynamic: net.BuildDynamic(), CacheEntries: 256})
+	// CheckPublish validates every published snapshot along the way; a
+	// bug in the incremental patching fails the batch with 500 here.
+	srv, err := New(Config{Dynamic: net.BuildDynamic(), CacheEntries: 256, CheckPublish: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,18 +356,38 @@ func TestDynamicMixedTraffic(t *testing.T) {
 				t.Fatalf("step %d: add_venue id %v, oracle %d", step, resp.ID, id)
 			}
 			oracle.points[id] = [2]float64{x, y}
+			venues = append(venues, id)
 			nVertices++
-		default: // add edge (any direction; cycles must 409)
+		case k < 9 && len(allEdges) > 0 && rng.Intn(3) == 0: // delete a known edge
+			i := rng.Intn(len(allEdges))
+			e := allEdges[i]
+			allEdges[i] = allEdges[len(allEdges)-1]
+			allEdges = allEdges[:len(allEdges)-1]
+			status, body := postJSON(t, ts.Client(), ts.URL+"/v1/update",
+				updateRequest{Op: "del_edge", From: e[0], To: e[1]}, nil)
+			if status != http.StatusOK {
+				t.Fatalf("step %d: del_edge status %d: %s", step, status, body)
+			}
+			oracle.delEdge(e[0], e[1])
+		case k < 9 && len(venues) > 0 && rng.Intn(3) == 1: // move a venue
+			v := venues[rng.Intn(len(venues))]
+			x, y := rng.Float64()*100, rng.Float64()*100
+			status, body := postJSON(t, ts.Client(), ts.URL+"/v1/update",
+				updateRequest{Op: "move_venue", Vertex: v, X: x, Y: y}, nil)
+			if status != http.StatusOK {
+				t.Fatalf("step %d: move_venue status %d: %s", step, status, body)
+			}
+			oracle.points[v] = [2]float64{x, y}
+		default: // add edge (any direction; cycle-closing edges merge)
 			u, v := rng.Intn(nVertices), rng.Intn(nVertices)
 			status, body := postJSON(t, ts.Client(), ts.URL+"/v1/update",
 				updateRequest{Op: "add_edge", From: u, To: v}, nil)
-			switch status {
-			case http.StatusOK:
-				oracle.adj[u] = append(oracle.adj[u], v)
-			case http.StatusConflict:
-				// rejected cycle-creating edge: oracle unchanged
-			default:
+			if status != http.StatusOK {
 				t.Fatalf("step %d: add_edge status %d: %s", step, status, body)
+			}
+			if u != v && !oracle.hasEdge(u, v) {
+				oracle.adj[u] = append(oracle.adj[u], v)
+				allEdges = append(allEdges, [2]int{u, v})
 			}
 		}
 	}
@@ -431,13 +482,10 @@ func TestDynamicConcurrentReadersDuringUpdates(t *testing.T) {
 			u, v := urng.Intn(nVertices), urng.Intn(nVertices)
 			status, body := postJSON(t, ts.Client(), ts.URL+"/v1/update",
 				updateRequest{Op: "add_edge", From: u, To: v}, nil)
-			switch status {
-			case http.StatusOK:
-				oracle.adj[u] = append(oracle.adj[u], v)
-			case http.StatusConflict:
-			default:
+			if status != http.StatusOK {
 				t.Fatalf("add_edge status %d: %s", status, body)
 			}
+			oracle.adj[u] = append(oracle.adj[u], v)
 		}
 	}
 	close(stop)

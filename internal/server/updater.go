@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -12,6 +13,10 @@ import (
 
 // errClosed reports an update submitted to a server that has shut down.
 var errClosed = errors.New("server: closed")
+
+// errPublishCheck reports a batch dropped because the snapshot it
+// produced failed publish-time validation (-check-publish).
+var errPublishCheck = errors.New("snapshot failed publish-time validation")
 
 // publishedSnapshot pairs an immutable index view with the generation
 // it belongs to. Readers load the pair with one atomic pointer load, so
@@ -27,12 +32,15 @@ const (
 	opAddUser = iota
 	opAddVenue
 	opAddEdge
+	opDelEdge
+	opMoveVenue
 )
 
 type updateOp struct {
 	kind     int
 	x, y     float64
 	from, to int
+	vertex   int               // opMoveVenue: the venue to relocate
 	reply    chan updateResult // buffered, written exactly once
 }
 
@@ -58,16 +66,26 @@ type updater struct {
 	done     chan struct{}
 	swaps    *metrics.Counter
 	snapTime *metrics.Histogram // rr_build_seconds{phase="snapshot"}
+
+	// checkPublish validates every snapshot before it is published
+	// (rrserve -check-publish). A snapshot that fails validation is
+	// dropped — readers keep the last good one — and the whole batch
+	// that produced it is failed back to its clients; checkFails counts
+	// those events.
+	checkPublish bool
+	checkFails   *metrics.Counter
 }
 
-func newUpdater(idx *rangereach.DynamicIndex, swaps *metrics.Counter, snapTime *metrics.Histogram) *updater {
+func newUpdater(idx *rangereach.DynamicIndex, swaps *metrics.Counter, snapTime *metrics.Histogram, checkPublish bool, checkFails *metrics.Counter) *updater {
 	u := &updater{
-		idx:      idx,
-		ops:      make(chan updateOp, 256),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
-		swaps:    swaps,
-		snapTime: snapTime,
+		idx:          idx,
+		ops:          make(chan updateOp, 256),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		swaps:        swaps,
+		snapTime:     snapTime,
+		checkPublish: checkPublish,
+		checkFails:   checkFails,
 	}
 	u.snap.Store(&publishedSnapshot{snap: idx.Snapshot(), gen: 0})
 	go u.loop()
@@ -136,9 +154,28 @@ func (u *updater) loop() {
 		for i, op := range pending {
 			results[i] = u.apply(op)
 		}
-		gen++
 		start := time.Now()
-		u.snap.Store(&publishedSnapshot{snap: u.idx.Snapshot(), gen: gen})
+		snap := u.idx.Snapshot()
+		if u.checkPublish {
+			if err := snap.Validate(); err != nil {
+				// The patched state is corrupt: never publish it. Readers
+				// keep the last good snapshot and the whole batch fails
+				// loudly, so the client knows its writes are not visible.
+				u.checkFails.Inc()
+				verr := fmt.Errorf("server: %w: %v", errPublishCheck, err)
+				for i := range results {
+					if results[i].err == nil {
+						results[i] = updateResult{id: -1, err: verr}
+					}
+				}
+				for i, op := range pending {
+					op.reply <- results[i]
+				}
+				continue
+			}
+		}
+		gen++
+		u.snap.Store(&publishedSnapshot{snap: snap, gen: gen})
 		u.snapTime.Observe(time.Since(start).Seconds())
 		u.swaps.Inc()
 		// Reply only after the snapshot is published: a client whose
@@ -158,6 +195,10 @@ func (u *updater) apply(op updateOp) updateResult {
 		return updateResult{id: u.idx.AddVenue(op.x, op.y)}
 	case opAddEdge:
 		return updateResult{id: -1, err: u.idx.AddEdge(op.from, op.to)}
+	case opDelEdge:
+		return updateResult{id: -1, err: u.idx.DeleteEdge(op.from, op.to)}
+	case opMoveVenue:
+		return updateResult{id: -1, err: u.idx.MoveVenue(op.vertex, op.x, op.y)}
 	default:
 		return updateResult{id: -1, err: errors.New("server: unknown update op")}
 	}

@@ -23,9 +23,11 @@ func (idx *Index) Validate() error {
 }
 
 // Validate deep-checks the dynamic index's structural invariants: the
-// incremental labeling (dense post numbers, label nesting, acyclicity
-// of the absorbed graph), the base R-tree, and the base/overlay
-// bookkeeping. Call it from the writer, like any other access.
+// live SCC condensation (component partition, sparse post uniqueness,
+// label nesting, DAG-refcount agreement with the accumulated edges,
+// acyclicity), the base R-tree, and the base/overlay/tombstone
+// bookkeeping — every venue exactly once at z = post of its component.
+// Call it from the writer, like any other access.
 func (idx *DynamicIndex) Validate() error {
 	if err := idx.engine.Validate(); err != nil {
 		return fmt.Errorf("rangereach: %w", err)
@@ -33,9 +35,10 @@ func (idx *DynamicIndex) Validate() error {
 	return nil
 }
 
-// Validate deep-checks the snapshot's captured state: the labeling
-// view, the shared base tree and the overlay bookkeeping. Snapshots
-// are immutable, so it may run concurrently with anything.
+// Validate deep-checks the snapshot's captured state: the captured
+// labels and posts, the shared base tree and the overlay/tombstone
+// bookkeeping. Snapshots are immutable, so it may run concurrently
+// with anything — rrserve's -check-publish runs it on every publish.
 func (s *DynamicSnapshot) Validate() error {
 	if err := s.snap.Validate(); err != nil {
 		return fmt.Errorf("rangereach: %w", err)

@@ -71,17 +71,43 @@ func TestDynamicValidateRandomized(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(7))
 	var snapshots []*rangereach.DynamicSnapshot
+	var edges [][2]int
+	var venues []int
 	for batch := 0; batch < 20; batch++ {
 		for op := 0; op < 25; op++ {
-			switch rng.Intn(4) {
+			switch rng.Intn(6) {
 			case 0:
 				idx.AddUser()
 			case 1:
-				idx.AddVenue(rng.Float64()*100, rng.Float64()*100)
+				venues = append(venues, idx.AddVenue(rng.Float64()*100, rng.Float64()*100))
+			case 2:
+				if len(edges) > 0 {
+					i := rng.Intn(len(edges))
+					e := edges[i]
+					edges[i] = edges[len(edges)-1]
+					edges = edges[:len(edges)-1]
+					// The same edge may have been inserted twice; a
+					// missing-edge error on the second delete is fine.
+					_ = idx.DeleteEdge(e[0], e[1])
+				}
+			case 3:
+				if len(venues) > 0 {
+					v := venues[rng.Intn(len(venues))]
+					if err := idx.MoveVenue(v, rng.Float64()*100, rng.Float64()*100); err != nil {
+						t.Fatalf("batch %d: move venue %d: %v", batch, v, err)
+					}
+				}
 			default:
 				n := idx.NumVertices()
-				// Cycle-closing edges are rejected; that is fine here.
-				_ = idx.AddEdge(rng.Intn(n), rng.Intn(n))
+				u, v := rng.Intn(n), rng.Intn(n)
+				// Cycle-closing edges merge components; only out-of-range
+				// endpoints error, and these are in range.
+				if err := idx.AddEdge(u, v); err != nil {
+					t.Fatalf("batch %d: add edge (%d,%d): %v", batch, u, v, err)
+				}
+				if u != v {
+					edges = append(edges, [2]int{u, v})
+				}
 			}
 		}
 		if err := idx.Validate(); err != nil {
