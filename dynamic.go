@@ -119,6 +119,8 @@ func (idx *DynamicIndex) MemoryBytes() int64 { return idx.engine.MemoryBytes() }
 // while the index it was taken from continues to be updated by its
 // single writer. Taking a snapshot costs O(vertices) slice-header
 // copies; the bulk spatial structure is shared, never copied.
+//
+//lint:frozen
 type DynamicSnapshot struct {
 	snap *incr.Snapshot
 }

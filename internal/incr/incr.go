@@ -111,9 +111,9 @@ type Index struct {
 	alive     []bool
 	members   [][]int32
 	outC, inC []map[int32]int32 // DAG adjacency, refcounted by original edges
-	post      []int32           // sparse 1-based post; 0 = retired
+	post      []int32 // sparse 1-based post; 0 = retired
 	labels    []intervals.Set
-	maxPost   int32
+	maxPost   int32 //lint:monotonic — retired posts are never reused
 	liveComps int
 	deadComps int
 
@@ -142,11 +142,11 @@ type Index struct {
 	// visited marks (slot visited iff stamp == epoch) avoid clearing or
 	// reallocating per probe. Grown lazily alongside n.
 	fwdSeen, bwdSeen []uint64
-	probeEpoch       uint64
+	probeEpoch       uint64 //lint:monotonic — a rewind would resurrect stale visited marks
 	// Scratch for DAG walks over components (propagate), same
 	// epoch-stamp scheme but indexed by component id.
 	compSeen  []uint64
-	compEpoch uint64
+	compEpoch uint64 //lint:monotonic
 }
 
 // New builds an incremental index over the prepared network.
@@ -550,6 +550,10 @@ func (x *Index) rebuildDerived() {
 	x.members = cond.Members
 	x.post = l.Post
 	x.labels = l.Labels
+	// A full rebuild re-densifies the post space, so the high-water mark
+	// legitimately drops; snapshots pin the old numbering and never mix
+	// with the new one.
+	//lint:ignore epochmono rebuild re-densifies posts; old numbering is pinned by snapshots
 	x.maxPost = int32(nc)
 	x.alive = make([]bool, nc)
 	for c := range x.alive {

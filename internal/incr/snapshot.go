@@ -13,6 +13,8 @@ import (
 // slice-header copies plus copies of the bounded overlay, tombstone
 // set and occupancy grid; the base R-tree is shared by pointer since
 // it is only ever replaced, never mutated.
+//
+//lint:frozen
 type Snapshot struct {
 	q       qview
 	spatial []bool

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file parses the source annotations the CFG-aware analyzers are
+// driven by:
+//
+//	//lint:guardedby <lockfield>   on a struct field: every access must
+//	                               hold <lockfield> of the same struct
+//	                               (reads need RLock or Lock, writes
+//	                               need Lock).
+//	//lint:frozen                  on a type declaration: the type is an
+//	                               immutable published view; no writes
+//	                               through it after construction.
+//	//lint:monotonic               on an integer or atomic counter
+//	                               field: it only moves forward
+//	                               (increments), never gets rewritten.
+//	//lint:locked <expr>           on a function declaration: callers
+//	                               hold <expr> exclusively on entry.
+//	//lint:rlocked <expr>          same, but a read lock.
+
+// directiveArg returns the argument of the first "//lint:<name>"
+// directive in the comment groups, and whether one was present. A
+// directive with no argument returns ok with an empty arg.
+func directiveArg(name string, groups ...*ast.CommentGroup) (arg string, ok bool) {
+	prefix := "//lint:" + name
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			rest, found := strings.CutPrefix(c.Text, prefix)
+			if !found {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:guardedbyx
+			}
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// fieldAnnotations collects, for every struct field of the package
+// annotated with the given directive, the field object and the
+// directive's argument.
+func fieldAnnotations(pkg *Package, directive string) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				arg, ok := directiveArg(directive, field.Doc, field.Comment)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						out[v] = arg
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// frozenTypes collects the named types of the package annotated
+// //lint:frozen (on the type spec or its enclosing declaration).
+func frozenTypes(pkg *Package) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := directiveArg("frozen", gd.Doc, ts.Doc, ts.Comment); !ok {
+					continue
+				}
+				if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					if named, ok := tn.Type().(*types.Named); ok {
+						out[named] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// entryLocks parses the //lint:locked and //lint:rlocked function
+// annotations into the held-locks entry fact for its body.
+func entryLocks(doc *ast.CommentGroup) heldFact {
+	if doc == nil {
+		return nil
+	}
+	var fact heldFact
+	for _, c := range doc.List {
+		for _, d := range []struct {
+			name string
+			kind lockKind
+		}{{"locked", heldW}, {"rlocked", heldR}} {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:"+d.name)
+			if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			expr := strings.TrimSpace(rest)
+			if expr == "" {
+				continue
+			}
+			if fact == nil {
+				fact = make(heldFact)
+			}
+			fact[expr] = d.kind
+		}
+	}
+	return fact
+}
+
+// funcBody is one analyzable function of a package: a declaration or a
+// function literal. Literals are separate analysis scopes — a closure
+// may run on another goroutine, so it never inherits the enclosing
+// function's held locks (annotate the literal's behavior via the
+// enclosing declaration only when it is genuinely synchronous, with
+// //lint:ignore).
+type funcBody struct {
+	// decl is the declaration, nil for literals.
+	decl *ast.FuncDecl
+	// lit is the literal, nil for declarations.
+	lit *ast.FuncLit
+	// body is never nil.
+	body *ast.BlockStmt
+}
+
+// name renders a label for findings.
+func (fb funcBody) name() string {
+	if fb.decl != nil {
+		return fb.decl.Name.Name
+	}
+	return "func literal"
+}
+
+// packageFuncs lists every function body of the package: declarations
+// and all (transitively nested) function literals.
+func packageFuncs(pkg *Package) []funcBody {
+	var out []funcBody
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, funcBody{decl: fn, body: fn.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, funcBody{lit: fn, body: fn.Body})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,645 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast,
+// from scratch on the standard library only (no x/tools). A Graph is a
+// set of basic blocks connected by edges for the structured control
+// flow of one function body: if/else joins, for and range loops,
+// switch/type-switch/select dispatch (including fallthrough), labeled
+// break and continue, goto, and the terminating statements return and
+// panic (plus a small set of no-return calls such as os.Exit), which
+// edge to a synthetic Exit block.
+//
+// Blocks carry only "flat" nodes — expressions and simple statements.
+// A compound statement contributes its control parts (init, condition,
+// post, tag, comm clauses) to the blocks that evaluate them; its body
+// belongs to other blocks. Function literals are boundaries: their
+// bodies are not included in the enclosing graph (build them
+// separately).
+//
+// The graph is the substrate for the dataflow solver in
+// internal/lint/dataflow and for the CFG-aware analyzers in
+// internal/lint.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every basic block in creation order. Blocks[0] is
+	// Entry; Exit is always the last block.
+	Blocks []*Block
+	// Entry is where control enters the function.
+	Entry *Block
+	// Exit is the synthetic block every return/panic/fallthrough-off-
+	// the-end edges to. It holds no nodes.
+	Exit *Block
+}
+
+// Block is one basic block: a maximal straight-line sequence of flat
+// nodes with a single entry and (conceptually) branching only at the
+// end.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Kind names what created the block ("entry", "if.then", "for.head",
+	// "range.body", "switch.case", "select.comm", "label.retry", ...),
+	// for tests and debugging.
+	Kind string
+	// Nodes are the flat AST nodes executed in the block, in order.
+	// Compound statements never appear; their control expressions do.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs []*Block
+	Preds []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// builder holds the in-progress graph and the resolution stacks for
+// break/continue/fallthrough/goto.
+type builder struct {
+	g    *Graph
+	info *types.Info
+	// cur is the block statements are appended to; nil after a
+	// terminator (the next statement starts an unreachable block).
+	cur *Block
+	// breaks and continues are target stacks; an empty label matches the
+	// innermost target, a label matches the target registered with it.
+	breaks    []branchTarget
+	continues []branchTarget
+	// fallthroughs is the stack of next-clause blocks for switch cases.
+	fallthroughs []*Block
+	// labels maps label names to their blocks for goto resolution;
+	// gotos are resolved after the whole body is built so forward jumps
+	// work.
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel carries a label down to the loop/switch statement it
+	// annotates, so labeled break/continue can find their targets.
+	pendingLabel string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+	pos   ast.Node
+}
+
+// New builds the control-flow graph of body. info may be nil; when
+// present it sharpens terminator detection (calls to panic and a small
+// no-return set end their block with an edge to Exit). New never
+// modifies the AST.
+func New(body *ast.BlockStmt, info *types.Info) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		info:   info,
+		labels: make(map[string]*Block),
+	}
+	b.g.Exit = &Block{Kind: "exit"} // appended last, indexed in finish
+	entry := b.newBlock("entry")
+	b.g.Entry = entry
+	b.cur = entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit) // fall off the end of the body
+	}
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target)
+		} else {
+			// Undefined label: the package would not type-check; treat
+			// the goto as a function exit so the graph stays connected.
+			b.edge(pg.from, b.g.Exit)
+		}
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a flat node to the current block, starting a fresh
+// (unreachable) block if the previous statement terminated control
+// flow.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.ensure()
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// ensure guarantees a current block, creating an unreachable one for
+// code after a terminator.
+func (b *builder) ensure() {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// A label annotates the statement it precedes; consume it so nested
+	// statements don't inherit it.
+	label := b.pendingLabel
+	b.pendingLabel = ""
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// goto L jumps to the beginning of the labeled statement, so the
+		// label needs its own block even when the statement is simple.
+		lb := b.newBlock("label." + s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, lb)
+		}
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.isTerminatorCall(s.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Flat statements: assignments, declarations, defer, go, send,
+		// inc/dec. Their nested FuncLit bodies are out of scope by
+		// construction (we never walk into them here).
+		b.add(s)
+	}
+}
+
+// branch handles break/continue/goto/fallthrough.
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.ensure()
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := findTarget(b.breaks, label); t != nil {
+			b.edge(b.cur, t)
+		} else {
+			b.edge(b.cur, b.g.Exit) // malformed; keep the graph connected
+		}
+		b.cur = nil
+	case "continue":
+		if t := findTarget(b.continues, label); t != nil {
+			b.edge(b.cur, t)
+		} else {
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = nil
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label, pos: s})
+		b.cur = nil
+	case "fallthrough":
+		if n := len(b.fallthroughs); n > 0 && b.fallthroughs[n-1] != nil {
+			b.edge(b.cur, b.fallthroughs[n-1])
+		} else {
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = nil
+	}
+}
+
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	b.ensure()
+	cond := b.cur
+
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	hasElse := s.Else != nil
+	if hasElse {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+
+	join := b.newBlock("if.join")
+	if !hasElse {
+		b.edge(cond, join)
+	}
+	if thenEnd != nil {
+		b.edge(thenEnd, join)
+	}
+	if elseEnd != nil {
+		b.edge(elseEnd, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	b.add(s.Init)
+	b.ensure()
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s.Cond)
+
+	body := b.newBlock("for.body")
+	b.edge(head, body)
+	done := b.newBlock("for.done")
+	if s.Cond != nil {
+		b.edge(head, done)
+	}
+
+	// continue runs the post statement (or jumps to the head directly).
+	contTarget := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		contTarget = post
+	}
+	b.pushLoop(label, done, contTarget)
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, contTarget)
+	}
+	b.popLoop()
+
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.edge(post, head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.ensure()
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	// The ranged expression and the iteration variables are the clause's
+	// flat parts; assignments to Key/Value happen per iteration but the
+	// identifiers suffice for the analyses built on this graph.
+	b.add(s.X)
+	b.add(s.Key)
+	b.add(s.Value)
+
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	done := b.newBlock("range.done")
+	b.edge(head, done) // range can be empty
+
+	b.pushLoop(label, done, head)
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.popLoop()
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	b.add(s.Init)
+	b.add(s.Tag)
+	b.ensure()
+	head := b.cur
+	done := b.newBlock("switch.done")
+	b.switchClauses(head, done, s.Body.List, label, "switch.case",
+		func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		})
+	b.cur = done
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	b.add(s.Init)
+	b.add(s.Assign)
+	b.ensure()
+	head := b.cur
+	done := b.newBlock("typeswitch.done")
+	b.switchClauses(head, done, s.Body.List, label, "typeswitch.case",
+		func(cc *ast.CaseClause, blk *Block) {})
+	b.cur = done
+}
+
+// switchClauses builds the per-clause blocks shared by switch and type
+// switch: the head edges to every clause; a clause without fallthrough
+// edges to done; fallthrough edges to the next clause's block; a
+// missing default adds a head→done edge.
+func (b *builder) switchClauses(head, done *Block, clauses []ast.Stmt, label, kind string,
+	addTests func(*ast.CaseClause, *Block)) {
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(head, blocks[i])
+		addTests(cc, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.breaks = append(b.breaks, branchTarget{label, done})
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		var next *Block
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.fallthroughs = append(b.fallthroughs, next)
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+		b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	b.ensure()
+	head := b.cur
+	done := b.newBlock("select.done")
+	b.breaks = append(b.breaks, branchTarget{label, done})
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		blk := b.newBlock("select.comm")
+		b.edge(head, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	// An empty select{} blocks forever: head keeps no successors and
+	// done stays unreachable, which is exactly the semantics.
+	b.cur = done
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label, brk})
+	b.continues = append(b.continues, branchTarget{label, cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// noReturnFuncs are stdlib calls that never return; a call to one
+// terminates its block like panic.
+var noReturnFuncs = map[string]bool{
+	"os.Exit":        true,
+	"runtime.Goexit": true,
+	"log.Fatal":      true,
+	"log.Fatalf":     true,
+	"log.Fatalln":    true,
+	"log.Panic":      true,
+	"log.Panicf":     true,
+	"log.Panicln":    true,
+}
+
+// isTerminatorCall reports whether e is a call that never returns:
+// the panic built-in or one of noReturnFuncs.
+func (b *builder) isTerminatorCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			// panic must resolve to the built-in, not a local function.
+			if obj := b.info.Uses[fun]; obj != nil {
+				_, isBuiltin := obj.(*types.Builtin)
+				return isBuiltin
+			}
+			return false
+		}
+		return true
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		name := pkg.Name + "." + fun.Sel.Name
+		if !noReturnFuncs[name] {
+			return false
+		}
+		if b.info != nil {
+			// Confirm the selector really is a package-level function of
+			// that stdlib package (not a field or method of a local
+			// variable that happens to shadow the package name).
+			fn, _ := b.info.Uses[fun.Sel].(*types.Func)
+			return fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == name[:strings.LastIndex(name, ".")]
+		}
+		return true
+	}
+	return false
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+// LoopBlocks returns the set of blocks that sit inside some cycle of
+// the graph — a strongly connected component with more than one block,
+// or a self-loop. goto-made irreducible loops are handled the same as
+// structured for/range loops.
+func (g *Graph) LoopBlocks() map[*Block]bool {
+	// Iterative Tarjan SCC over block indices.
+	n := len(g.Blocks)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	inLoop := make(map[*Block]bool)
+
+	type frame struct {
+		v  int
+		si int // next successor to visit
+	}
+	for r := 0; r < n; r++ {
+		if index[r] != -1 {
+			continue
+		}
+		work := []frame{{v: r}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.si == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.si < len(g.Blocks[v].Succs) {
+				w := g.Blocks[v].Succs[f.si].Index
+				f.si++
+				if index[w] == -1 {
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is done: pop its SCC if it is a root.
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					for _, w := range scc {
+						inLoop[g.Blocks[w]] = true
+					}
+				} else {
+					// Single block: in a loop only with a self-edge.
+					for _, s := range g.Blocks[scc[0]].Succs {
+						if s.Index == scc[0] {
+							inLoop[g.Blocks[scc[0]]] = true
+						}
+					}
+				}
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return inLoop
+}
+
+// Dump renders the graph in a compact textual form for tests:
+// one line per block, "b0(entry) -> b1 b2".
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%s ->", b)
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

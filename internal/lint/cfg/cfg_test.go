@@ -1,0 +1,397 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses "package p\n"+src and builds the CFG of the first
+// function declaration (no type info — the cfg layer must stand alone).
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return New(fd.Body, nil)
+		}
+	}
+	t.Fatalf("no function in %q", src)
+	return nil
+}
+
+// wantDump asserts the exact block graph.
+func wantDump(t *testing.T, g *Graph, want string) {
+	t.Helper()
+	got := strings.TrimSpace(g.Dump())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	g := buildFunc(t, `func f() { x := 1; _ = x }`)
+	wantDump(t, g, `
+b0(entry) -> b1
+b1(exit) ->`)
+	if len(g.Entry.Nodes) != 2 {
+		t.Errorf("entry holds %d nodes, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`)
+	wantDump(t, g, `
+b0(entry) -> b1 b2
+b1(if.then) -> b3
+b2(if.join) -> b3
+b3(exit) ->`)
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	_ = x
+}`)
+	wantDump(t, g, `
+b0(entry) -> b1 b2
+b1(if.then) -> b3
+b2(if.else) -> b3
+b3(if.join) -> b4
+b4(exit) ->`)
+}
+
+func TestForBreakContinue(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			break
+		}
+	}
+}`)
+	wantDump(t, g, `
+b0(entry) -> b1
+b1(for.head) -> b2 b3
+b2(for.body) -> b5 b6
+b3(for.done) -> b7
+b4(for.post) -> b1
+b5(if.then) -> b3
+b6(if.join) -> b4
+b7(exit) ->`)
+
+	loops := g.LoopBlocks()
+	for _, want := range []int{1, 2, 4, 6} {
+		if !loops[g.Blocks[want]] {
+			t.Errorf("b%d should be in the loop", want)
+		}
+	}
+	// The break path and the loop exit are not on the cycle.
+	for _, not := range []int{0, 3, 5, 7} {
+		if loops[g.Blocks[not]] {
+			t.Errorf("b%d should not be in the loop", not)
+		}
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, `func f() {
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+}`)
+	wantDump(t, g, `
+b0(entry) -> b1
+b1(label.outer) -> b2
+b2(for.head) -> b3
+b3(for.body) -> b5
+b4(for.done) -> b8
+b5(for.head) -> b6
+b6(for.body) -> b4
+b7(for.done) -> b2
+b8(exit) ->`)
+	// The inner loop's done block is unreachable (the only way out of
+	// the inner loop is the labeled break).
+	if g.Reachable()[g.Blocks[7]] {
+		t.Errorf("inner for.done should be unreachable")
+	}
+}
+
+func TestGotoLoop(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	i := 0
+retry:
+	i++
+	if i < 3 {
+		goto retry
+	}
+}`)
+	wantDump(t, g, `
+b0(entry) -> b1
+b1(label.retry) -> b2 b3
+b2(if.then) -> b1
+b3(if.join) -> b4
+b4(exit) ->`)
+	// The goto-made loop is irreducible-style but SCC detection still
+	// classifies its blocks as loop members.
+	loops := g.LoopBlocks()
+	if !loops[g.Blocks[1]] || !loops[g.Blocks[2]] {
+		t.Errorf("goto loop blocks not detected: %v", loops)
+	}
+	if loops[g.Blocks[0]] || loops[g.Blocks[3]] {
+		t.Errorf("blocks outside the goto loop marked as loop members")
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+	if c {
+		goto done
+	}
+	println("work")
+done:
+	println("done")
+}`)
+	wantDump(t, g, `
+b0(entry) -> b1 b2
+b1(if.then) -> b3
+b2(if.join) -> b3
+b3(label.done) -> b4
+b4(exit) ->`)
+}
+
+func TestPanicEdgesToExit(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	println("ok")
+}`)
+	wantDump(t, g, `
+b0(entry) -> b1 b2
+b1(if.then) -> b3
+b2(if.join) -> b3
+b3(exit) ->`)
+	// The panic node stays in its block (analyzers still see it).
+	if len(g.Blocks[1].Nodes) != 1 {
+		t.Errorf("if.then holds %d nodes, want the panic call", len(g.Blocks[1].Nodes))
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	g := buildFunc(t, `func f() int {
+	return 1
+	println("dead")
+}`)
+	wantDump(t, g, `
+b0(entry) -> b2
+b1(unreachable) -> b2
+b2(exit) ->`)
+	reach := g.Reachable()
+	if reach[g.Blocks[1]] {
+		t.Errorf("code after return should be unreachable")
+	}
+	if !reach[g.Blocks[0]] || !reach[g.Exit] {
+		t.Errorf("entry and exit must be reachable")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		println(2)
+	default:
+		println(3)
+	}
+}`)
+	wantDump(t, g, `
+b0(entry) -> b2 b3 b4
+b1(switch.done) -> b5
+b2(switch.case) -> b3
+b3(switch.case) -> b1
+b4(switch.case) -> b1
+b5(exit) ->`)
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+	switch {
+	case x > 0:
+		println(1)
+	}
+}`)
+	// No default: the head can skip every case.
+	wantDump(t, g, `
+b0(entry) -> b2 b1
+b1(switch.done) -> b3
+b2(switch.case) -> b1
+b3(exit) ->`)
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := buildFunc(t, `func f(v any) {
+	switch v.(type) {
+	case int:
+		println(1)
+	default:
+		println(2)
+	}
+}`)
+	wantDump(t, g, `
+b0(entry) -> b2 b3
+b1(typeswitch.done) -> b4
+b2(typeswitch.case) -> b1
+b3(typeswitch.case) -> b1
+b4(exit) ->`)
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, `func f(ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}`)
+	wantDump(t, g, `
+b0(entry) -> b2 b3
+b1(select.done) -> b4
+b2(select.comm) -> b1
+b3(select.comm) -> b1
+b4(exit) ->`)
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	select {}
+}`)
+	// select{} never proceeds: the head has no successors and the exit
+	// is unreachable.
+	if len(g.Entry.Succs) != 0 {
+		t.Errorf("empty select head has successors: %v", g.Entry.Succs)
+	}
+	if g.Reachable()[g.Exit] {
+		t.Errorf("exit should be unreachable after select{}")
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) {
+	for _, x := range xs {
+		_ = x
+	}
+}`)
+	wantDump(t, g, `
+b0(entry) -> b1
+b1(range.head) -> b2 b3
+b2(range.body) -> b1
+b3(range.done) -> b4
+b4(exit) ->`)
+	loops := g.LoopBlocks()
+	if !loops[g.Blocks[1]] || !loops[g.Blocks[2]] {
+		t.Errorf("range loop not detected")
+	}
+}
+
+func TestDeferIsANode(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	defer println("x")
+	for i := 0; i < 3; i++ {
+		defer println(i)
+	}
+}`)
+	var total, inLoop int
+	loops := g.LoopBlocks()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				total++
+				if loops[b] {
+					inLoop++
+				}
+			}
+		}
+	}
+	if total != 2 {
+		t.Errorf("found %d defer nodes, want 2", total)
+	}
+	if inLoop != 1 {
+		t.Errorf("found %d defers in loop blocks, want 1", inLoop)
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	// Without type info the builder trusts the textual os.Exit form.
+	g := buildFunc(t, `func f(c bool) {
+	if c {
+		os.Exit(1)
+	}
+	println("ok")
+}`)
+	then := g.Blocks[1]
+	if then.Kind != "if.then" || len(then.Succs) != 1 || then.Succs[0] != g.Exit {
+		t.Errorf("os.Exit block should edge straight to exit: %s", g.Dump())
+	}
+}
+
+func TestFuncLitIsABoundary(t *testing.T) {
+	g := buildFunc(t, `func f() {
+	go func() {
+		for {
+		}
+	}()
+	println("after")
+}`)
+	// The goroutine body's infinite loop must not appear in f's graph.
+	wantDump(t, g, `
+b0(entry) -> b1
+b1(exit) ->`)
+	if len(g.Entry.Nodes) != 2 {
+		t.Errorf("entry holds %d nodes, want go stmt + println", len(g.Entry.Nodes))
+	}
+}
+
+func TestNestedLoopsLoopMembership(t *testing.T) {
+	g := buildFunc(t, `func f(m map[int][]int) {
+	for k := range m {
+		for _, v := range m[k] {
+			_ = v
+		}
+	}
+}`)
+	loops := g.LoopBlocks()
+	var heads int
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			heads++
+			if !loops[b] {
+				t.Errorf("%s not marked as loop member", b)
+			}
+		}
+	}
+	if heads != 2 {
+		t.Errorf("found %d range heads, want 2", heads)
+	}
+}

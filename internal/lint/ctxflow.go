@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow keeps request paths cancelable: in any function that receives
+// a context.Context or an *http.Request (handlers, shard fan-out,
+// hedges, the update proxy), blocking operations must thread that
+// context. Flagged:
+//
+//   - context.Background() / context.TODO() — they detach the work from
+//     the request. Exempt when passed directly to a log/slog call: the
+//     logging API wants a context parameter but must not fail with the
+//     request.
+//   - http.NewRequest — use http.NewRequestWithContext.
+//   - http.Get/Head/Post/PostForm — they build uncancelable requests.
+//   - time.Sleep — it ignores cancellation; select on ctx.Done() and a
+//     timer instead.
+//
+// Function literals are separate scopes: a literal is in scope only if
+// it takes a context itself, so deliberately detached work (async
+// straggler drains, background scrapes) stays exempt.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request paths must thread the request context",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, fb := range packageFuncs(pass.Pkg) {
+		sig := funcSignature(pass.Pkg.Info, fb)
+		if sig == nil || !hasRequestParam(sig) {
+			continue
+		}
+		checkCtxFlowFunc(pass, fb)
+	}
+}
+
+// funcSignature resolves the signature of a declaration or literal.
+func funcSignature(info *types.Info, fb funcBody) *types.Signature {
+	if fb.decl != nil {
+		if fn, ok := info.Defs[fb.decl.Name].(*types.Func); ok {
+			sig, _ := fn.Type().(*types.Signature)
+			return sig
+		}
+		return nil
+	}
+	tv, ok := info.Types[fb.lit]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// hasRequestParam reports whether the signature carries a request
+// context: a context.Context or *http.Request parameter.
+func hasRequestParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if namedFrom(t, "context", "Context") {
+			return true
+		}
+		if p, ok := types.Unalias(t).(*types.Pointer); ok && namedFrom(p.Elem(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxFlowFunc(pass *Pass, fb funcBody) {
+	info := pass.Pkg.Info
+
+	// Collect the argument calls of log/slog invocations first: a
+	// context.Background() passed straight into a slog call is the
+	// accepted idiom (logging must not be canceled with the request).
+	slogArg := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "log/slog" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ac, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				slogArg[ac] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate scope, checked on its own terms
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case funcFrom(fn, "context", "Background"), funcFrom(fn, "context", "TODO"):
+			if !slogArg[call] {
+				pass.Reportf(call.Pos(),
+					"context.%s() in a request path detaches the work from the request; thread the caller's context",
+					fn.Name())
+			}
+		case funcFrom(fn, "net/http", "NewRequest"):
+			pass.Reportf(call.Pos(),
+				"http.NewRequest in a request path builds an uncancelable request; use http.NewRequestWithContext")
+		case funcFrom(fn, "net/http", "Get"), funcFrom(fn, "net/http", "Head"),
+			funcFrom(fn, "net/http", "Post"), funcFrom(fn, "net/http", "PostForm"):
+			pass.Reportf(call.Pos(),
+				"http.%s in a request path cannot be canceled; use http.NewRequestWithContext + Do",
+				fn.Name())
+		case funcFrom(fn, "time", "Sleep"):
+			pass.Reportf(call.Pos(),
+				"time.Sleep in a request path ignores cancellation; select on ctx.Done() and a timer")
+		}
+		return true
+	})
+}

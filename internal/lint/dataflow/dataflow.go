@@ -1,0 +1,186 @@
+// Package dataflow is a generic iterative dataflow solver over the
+// control-flow graphs of internal/lint/cfg. A Problem supplies the
+// lattice (Meet, Equal), the transfer function, and the boundary and
+// initial facts; Solve runs worklist iteration in reverse postorder
+// until a fixpoint (or the iteration cap, reported via
+// Result.Converged).
+//
+// The framework is direction-agnostic: for a Forward problem facts flow
+// along Succs and In[b] is the fact at block entry; for a Backward
+// problem facts flow along Preds and In[b] is the fact at block *exit*
+// (the first fact the reversed execution sees). Transfer always maps
+// In[b] to Out[b].
+//
+// The solver is optimistic about unreachable code: a block none of
+// whose predecessors has been processed takes the Init fact. For a
+// must-analysis (meet = intersection) Init should be the empty fact —
+// "nothing is known to hold" — which keeps unreachable blocks
+// conservative without needing a representation of the lattice top.
+package dataflow
+
+import (
+	"repro/internal/lint/cfg"
+)
+
+// Direction orients a Problem.
+type Direction int
+
+const (
+	// Forward propagates facts from Entry along successor edges.
+	Forward Direction = iota
+	// Backward propagates facts from Exit along predecessor edges.
+	Backward
+)
+
+// Problem defines one dataflow analysis over a cfg.Graph.
+type Problem[F any] struct {
+	// Dir orients the analysis.
+	Dir Direction
+	// Boundary is the fact at the boundary block: Entry for Forward,
+	// Exit for Backward.
+	Boundary F
+	// Init is the fact assumed for a block before any predecessor has
+	// been processed (unreachable code keeps it).
+	Init F
+	// Transfer maps the fact flowing into b to the fact flowing out.
+	// It must not mutate its input.
+	Transfer func(b *cfg.Block, in F) F
+	// Meet combines facts where control-flow paths join. It must be
+	// commutative and associative and must not mutate its inputs.
+	Meet func(a, b F) F
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b F) bool
+}
+
+// Result carries the fixpoint facts.
+type Result[F any] struct {
+	// In and Out are the facts before and after each block's Transfer.
+	In, Out map[*cfg.Block]F
+	// Converged is false when the iteration cap was hit before a
+	// fixpoint (a non-monotone Transfer or a pathological lattice).
+	Converged bool
+	// Iterations counts block visits.
+	Iterations int
+}
+
+// Solve runs worklist iteration to a fixpoint and returns the facts.
+func Solve[F any](g *cfg.Graph, p Problem[F]) Result[F] {
+	boundary := g.Entry
+	preds := func(b *cfg.Block) []*cfg.Block { return b.Preds }
+	succs := func(b *cfg.Block) []*cfg.Block { return b.Succs }
+	if p.Dir == Backward {
+		boundary = g.Exit
+		preds, succs = succs, preds
+	}
+
+	order := rpo(g, boundary, succs)
+	res := Result[F]{
+		In:  make(map[*cfg.Block]F, len(g.Blocks)),
+		Out: make(map[*cfg.Block]F, len(g.Blocks)),
+	}
+	hasOut := make(map[*cfg.Block]bool, len(g.Blocks))
+
+	inQueue := make(map[*cfg.Block]bool, len(order))
+	queue := make([]*cfg.Block, len(order))
+	copy(queue, order)
+	for _, b := range order {
+		inQueue[b] = true
+	}
+
+	// Gen/kill lattices converge in O(depth) passes; the cap only
+	// guards against a non-monotone Transfer looping forever.
+	limit := len(g.Blocks)*64 + 256
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+		res.Iterations++
+		if res.Iterations > limit {
+			res.Converged = false
+			return res
+		}
+
+		var in F
+		seeded := false
+		if b == boundary {
+			in = p.Boundary
+			seeded = true
+		}
+		for _, pb := range preds(b) {
+			if !hasOut[pb] {
+				continue
+			}
+			if !seeded {
+				in = res.Out[pb]
+				seeded = true
+			} else {
+				in = p.Meet(in, res.Out[pb])
+			}
+		}
+		if !seeded {
+			in = p.Init
+		}
+		res.In[b] = in
+
+		out := p.Transfer(b, in)
+		if hasOut[b] && p.Equal(res.Out[b], out) {
+			continue
+		}
+		res.Out[b] = out
+		hasOut[b] = true
+		for _, sb := range succs(b) {
+			if !inQueue[sb] {
+				inQueue[sb] = true
+				queue = append(queue, sb)
+			}
+		}
+	}
+	res.Converged = true
+	return res
+}
+
+// rpo returns the blocks in reverse postorder from start following
+// next, with blocks unreachable from start appended in index order (so
+// every block gets facts).
+func rpo(g *cfg.Graph, start *cfg.Block, next func(*cfg.Block) []*cfg.Block) []*cfg.Block {
+	seen := make(map[*cfg.Block]bool, len(g.Blocks))
+	var post []*cfg.Block
+
+	type frame struct {
+		b  *cfg.Block
+		si int
+	}
+	stack := []frame{{b: start}}
+	seen[start] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		advanced := false
+		ns := next(f.b)
+		for f.si < len(ns) {
+			n := ns[f.si]
+			f.si++
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, frame{b: n})
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+
+	out := make([]*cfg.Block, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for _, b := range g.Blocks {
+		if !seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DeferInLoop reports defer statements inside loops: deferred calls
+// only run when the function returns, so a defer on a cycle of the CFG
+// accumulates one pending call per iteration — the classic
+// resource-leak shape in replay loops that open per-item resources.
+// Loop membership comes from the strongly connected components of the
+// control-flow graph, so goto-made loops count the same as for/range.
+// A defer that only *looks* nested (e.g. under an if whose branch
+// breaks out of the loop before looping again) is still on a cycle and
+// still flagged: the fix — hoisting the loop body into a function —
+// is the same.
+var DeferInLoop = &Analyzer{
+	Name: "deferinloop",
+	Doc:  "defer inside a loop accumulates until the function returns",
+	Run:  runDeferInLoop,
+}
+
+func runDeferInLoop(pass *Pass) {
+	for _, fb := range packageFuncs(pass.Pkg) {
+		g := pass.Pkg.CFG(fb.body)
+		loops := g.LoopBlocks()
+		if len(loops) == 0 {
+			continue
+		}
+		for b := range loops {
+			for _, n := range b.Nodes {
+				d, ok := n.(*ast.DeferStmt)
+				if !ok {
+					continue
+				}
+				pass.Reportf(d.Pos(),
+					"defer inside a loop runs only at function return and accumulates per iteration; hoist the loop body into a function")
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCFGBuildsOnWholeModule builds a control-flow graph for every
+// function body in the module — declarations and nested literals —
+// and sanity-checks basic graph invariants. Any panic in the builder
+// fails the test; this is the coverage net under the per-shape
+// fixtures in internal/lint/cfg.
+func TestCFGBuildsOnWholeModule(t *testing.T) {
+	m := repoModule(t)
+	funcs := 0
+	for _, pkg := range m.Pkgs {
+		for _, fb := range packageFuncs(pkg) {
+			g := pkg.CFG(fb.body)
+			if g.Entry == nil || g.Exit == nil {
+				t.Fatalf("%s: %s: CFG missing entry or exit", pkg.Path, fb.name())
+			}
+			for _, b := range g.Blocks {
+				for _, s := range b.Succs {
+					found := false
+					for _, p := range s.Preds {
+						if p == b {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%s: %s: succ/pred asymmetry at block %d",
+							pkg.Path, fb.name(), b.Index)
+					}
+				}
+			}
+			funcs++
+		}
+	}
+	if funcs < 500 {
+		t.Fatalf("only %d function bodies analyzed; the walk is missing packages", funcs)
+	}
+	t.Logf("built CFGs for %d function bodies", funcs)
+}
+
+// TestSolverConvergesOnWholeModule runs the held-locks dataflow
+// problem — the suite's most demanding lattice — over every function
+// in the module and requires a genuine fixpoint everywhere, within
+// the CI budget of 10 seconds for the whole sweep (module load time
+// excluded; it is shared across the suite).
+func TestSolverConvergesOnWholeModule(t *testing.T) {
+	m := repoModule(t)
+	start := time.Now()
+	funcs := 0
+	for _, pkg := range m.Pkgs {
+		for _, fb := range packageFuncs(pkg) {
+			var entry heldFact
+			if fb.decl != nil {
+				entry = entryLocks(fb.decl.Doc)
+			}
+			_, res := solveHeld(pkg, fb.body, entry)
+			if !res.Converged {
+				t.Fatalf("%s: %s: held-locks solve hit the iteration cap",
+					pkg.Path, fb.name())
+			}
+			funcs++
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("solving %d functions took %v; the 10s CI budget is blown", funcs, elapsed)
+	}
+	t.Logf("solved %d functions in %v", funcs, elapsed)
+}

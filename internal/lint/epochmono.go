@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EpochMono guards forward-only counters: fields annotated
+//
+//	gen uint64 //lint:monotonic
+//
+// may only move forward. For plain integer fields the allowed writes
+// are f++, f += e and f = f + e (same field on the right); any other
+// assignment — f = x, f--, f -= e — can rewrite the counter lower and
+// is flagged. For sync/atomic counter fields (atomic.Uint32/Uint64/
+// Int32/Int64) the allowed methods are Add, Load and CompareAndSwap;
+// Store and Swap can publish an older value and are flagged.
+// Constructor initialization stays exempt through the owned-value rule
+// and composite literals never hit the analyzer (their keys are plain
+// identifiers, not selectors).
+var EpochMono = &Analyzer{
+	Name: "epochmono",
+	Doc:  "//lint:monotonic counters only move forward",
+	Run:  runEpochMono,
+}
+
+func runEpochMono(pass *Pass) {
+	mono := fieldAnnotations(pass.Pkg, "monotonic")
+	if len(mono) == 0 {
+		return
+	}
+	for _, fb := range packageFuncs(pass.Pkg) {
+		checkMonoFunc(pass, mono, fb)
+	}
+}
+
+// monoField resolves e to an annotated field selection.
+func monoField(info *types.Info, mono map[*types.Var]string, e ast.Expr) (*ast.SelectorExpr, *types.Var, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil, nil, false
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil, nil, false
+	}
+	_, annotated := mono[field]
+	return sel, field, annotated
+}
+
+// atomicMonoMethods classifies calls on atomic counter fields.
+var atomicMonoOK = map[string]bool{"Add": true, "Load": true, "CompareAndSwap": true}
+
+func checkMonoFunc(pass *Pass, mono map[*types.Var]string, fb funcBody) {
+	info := pass.Pkg.Info
+	owned := ownedVars(info, fb.body)
+
+	exempt := func(sel *ast.SelectorExpr) bool {
+		return rootOwned(info, sel.X, owned)
+	}
+
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // literals are their own funcBody
+		case *ast.IncDecStmt:
+			sel, field, ok := monoField(info, mono, s.X)
+			if !ok || exempt(sel) {
+				return true
+			}
+			if s.Tok == token.DEC {
+				pass.Reportf(s.Pos(), "%s is monotonic; -- moves it backward",
+					types.ExprString(s.X))
+				_ = field
+			}
+		case *ast.AssignStmt:
+			for i, l := range s.Lhs {
+				sel, _, ok := monoField(info, mono, l)
+				if !ok || exempt(sel) {
+					continue
+				}
+				name := types.ExprString(sel)
+				switch s.Tok {
+				case token.ADD_ASSIGN:
+					// f += e only moves forward (for the unsigned and
+					// positive-delta uses this module has).
+				case token.ASSIGN:
+					if i < len(s.Rhs) && isSelfIncrement(s.Rhs[i], name) {
+						continue
+					}
+					pass.Reportf(l.Pos(),
+						"%s is monotonic; plain assignment can rewrite it lower — use ++/+= (or document a rebuild with //lint:ignore)",
+						name)
+				default:
+					pass.Reportf(l.Pos(),
+						"%s is monotonic; %s can move it backward", name, s.Tok)
+				}
+			}
+		case *ast.CallExpr:
+			// Atomic counter methods: x.gen.Store(...) / Swap(...).
+			fun, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, _, isMono := monoField(info, mono, fun.X)
+			if !isMono || exempt(sel) {
+				return true
+			}
+			named := receiverNamed(calleeFunc(info, s))
+			if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !atomicMonoOK[fun.Sel.Name] {
+				pass.Reportf(s.Pos(),
+					"%s is monotonic; atomic %s can publish an older value — use Add or CompareAndSwap",
+					types.ExprString(sel), fun.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isSelfIncrement matches `f = f + e` / `f = e + f` for the field's own
+// textual form.
+func isSelfIncrement(rhs ast.Expr, name string) bool {
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return false
+	}
+	return types.ExprString(ast.Unparen(bin.X)) == name ||
+		types.ExprString(ast.Unparen(bin.Y)) == name
+}

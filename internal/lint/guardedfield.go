@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedField is a lightweight static race detector: struct fields
+// annotated
+//
+//	fails int //lint:guardedby mu
+//
+// must only be accessed while the sibling lock <base>.mu is provably
+// held on every path (the held-locks must-analysis over the CFG).
+// Reads need at least RLock; writes (assignment, ++/--, address-of)
+// need the exclusive Lock. Values still local to their constructor
+// (assigned from a composite literal or new) are exempt, as is the
+// zero-value initialization a composite literal itself performs.
+// Helper functions whose callers hold the lock are annotated
+// //lint:locked <expr> (or //lint:rlocked) on the declaration.
+var GuardedField = &Analyzer{
+	Name: "guardedfield",
+	Doc:  "//lint:guardedby fields are only accessed under their lock",
+	Run:  runGuardedField,
+}
+
+func runGuardedField(pass *Pass) {
+	guards := fieldAnnotations(pass.Pkg, "guardedby")
+	if len(guards) == 0 {
+		return
+	}
+	// The lock name is the first token; anything after it ("mu — why")
+	// is free-form commentary.
+	for v, arg := range guards {
+		if f := strings.Fields(arg); len(f) > 0 {
+			guards[v] = f[0]
+		}
+	}
+	for _, fb := range packageFuncs(pass.Pkg) {
+		checkGuardedFunc(pass, guards, fb)
+	}
+}
+
+func checkGuardedFunc(pass *Pass, guards map[*types.Var]string, fb funcBody) {
+	info := pass.Pkg.Info
+	owned := ownedVars(info, fb.body)
+	var entry heldFact
+	if fb.decl != nil {
+		entry = entryLocks(fb.decl.Doc)
+	}
+	g, res := solveHeld(pass.Pkg, fb.body, entry)
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue // dead code gets no facts worth reporting on
+		}
+		for i, n := range b.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				// Deferred work runs at function exit where the held
+				// set is the exit fact, not this one; closures are
+				// checked as their own scopes.
+				continue
+			}
+			accs := guardedAccesses(info, n, guards)
+			if len(accs) == 0 {
+				continue
+			}
+			held := heldBefore(info, res, b, i)
+			for _, acc := range accs {
+				if rootOwned(info, acc.sel.X, owned) {
+					continue
+				}
+				base := types.ExprString(acc.sel.X)
+				lock := base + "." + guards[acc.field]
+				need := heldR
+				verb := "read of"
+				if acc.write {
+					need = heldW
+					verb = "write to"
+				}
+				got := held[lock]
+				switch {
+				case got >= need:
+					// properly locked
+				case got == heldR && need == heldW:
+					pass.Reportf(acc.sel.Pos(),
+						"%s %s.%s (guarded by %s) holding only %s.RLock; writes need %s.Lock",
+						verb, base, acc.field.Name(), guards[acc.field], lock, lock)
+				default:
+					pass.Reportf(acc.sel.Pos(),
+						"%s %s.%s (guarded by %s) without holding %s",
+						verb, base, acc.field.Name(), guards[acc.field], lock)
+				}
+			}
+		}
+	}
+}
+
+// guardedAccess is one access to an annotated field.
+type guardedAccess struct {
+	sel   *ast.SelectorExpr
+	field *types.Var
+	write bool
+}
+
+// guardedAccesses finds the annotated-field accesses in one flat node.
+// Function literals are separate scopes and skipped.
+func guardedAccesses(info *types.Info, n ast.Node, guards map[*types.Var]string) []guardedAccess {
+	writes := make(map[ast.Expr]bool)
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				markChain(l, writes)
+			}
+		case *ast.IncDecStmt:
+			markChain(s.X, writes)
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				// Taking the address lets the pointee escape the
+				// critical section; require the write lock.
+				markChain(s.X, writes)
+			}
+		}
+		return true
+	})
+	var out []guardedAccess
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		if _, guarded := guards[field]; !guarded {
+			return true
+		}
+		out = append(out, guardedAccess{sel: sel, field: field, write: writes[sel]})
+		return true
+	})
+	return out
+}
+
+// markChain marks e and every base expression it writes through
+// (s.m[k] writes through s.m and s).
+func markChain(e ast.Expr, marks map[ast.Expr]bool) {
+	for {
+		e = ast.Unparen(e)
+		marks[e] = true
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// ownedVars collects local variables bound to freshly constructed
+// values (composite literals or new) anywhere in the body: their
+// fields are still private to this function, so lock discipline does
+// not apply yet.
+func ownedVars(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	owned := make(map[*types.Var]bool)
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if !isFreshValue(rhs) {
+			return
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			owned[v] = true
+		} else if v, ok := info.Uses[id].(*types.Var); ok && v.Parent() != v.Pkg().Scope() {
+			owned[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					mark(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					mark(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return owned
+}
+
+// isFreshValue reports whether e constructs a brand-new value: T{...},
+// &T{...} or new(T).
+func isFreshValue(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, lit := ast.Unparen(x.X).(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// rootOwned walks base-expression chains to the root identifier and
+// reports whether it is a constructor-owned local.
+func rootOwned(info *types.Info, e ast.Expr, owned map[*types.Var]bool) bool {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			return ok && owned[v]
+		default:
+			return false
+		}
+	}
+}

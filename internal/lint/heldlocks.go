@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+)
+
+// This file is the shared held-locks must-analysis the lockorder and
+// guardedfield analyzers are built on: a forward dataflow problem whose
+// fact is the set of sync.Mutex/RWMutex expressions provably held at a
+// program point on *every* path (meet = intersection).
+
+// lockKind is how strongly a lock is held.
+type lockKind uint8
+
+const (
+	// heldR: at least a read lock (RLock) is held.
+	heldR lockKind = 1
+	// heldW: the exclusive lock (Lock) is held.
+	heldW lockKind = 2
+)
+
+// heldFact maps the textual lock expression ("s.mu", "h.mu", a
+// package-level "updateMu") to how it is held. The zero value (nil)
+// means nothing is held.
+type heldFact map[string]lockKind
+
+func cloneHeld(f heldFact) heldFact {
+	out := make(heldFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// heldMeet intersects two facts; a lock held for writing on one path
+// and reading on another is only known to be read-held.
+func heldMeet(a, b heldFact) heldFact {
+	out := make(heldFact)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				out[k] = vb
+			} else {
+				out[k] = va
+			}
+		}
+	}
+	return out
+}
+
+func heldEqual(a, b heldFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLockNode folds the lock and unlock calls inside one flat CFG
+// node into fact, in place. Function literals are separate scopes and
+// deferred releases run at function exit, so both are skipped —
+// `defer mu.Unlock()` keeps the lock held for the rest of the graph,
+// which is exactly the scoped-critical-section idiom.
+func applyLockNode(info *types.Info, n ast.Node, fact heldFact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch call := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			recv, method, _, ok := lockCallExpr(info, call)
+			if !ok {
+				return true
+			}
+			switch method {
+			case "Lock":
+				fact[recv] = heldW
+			case "RLock":
+				if fact[recv] < heldR {
+					fact[recv] = heldR
+				}
+			case "Unlock", "RUnlock":
+				delete(fact, recv)
+			}
+		}
+		return true
+	})
+}
+
+// solveHeld runs the held-locks analysis over one function body. entry
+// seeds the fact at the function entry (from //lint:locked
+// annotations); nil means no locks held.
+func solveHeld(pkg *Package, body *ast.BlockStmt, entry heldFact) (*cfg.Graph, dataflow.Result[heldFact]) {
+	g := pkg.CFG(body)
+	if entry == nil {
+		entry = heldFact{}
+	}
+	res := dataflow.Solve(g, dataflow.Problem[heldFact]{
+		Dir:      dataflow.Forward,
+		Boundary: entry,
+		Init:     heldFact{},
+		Transfer: func(b *cfg.Block, in heldFact) heldFact {
+			out := cloneHeld(in)
+			for _, n := range b.Nodes {
+				applyLockNode(pkg.Info, n, out)
+			}
+			return out
+		},
+		Meet:  heldMeet,
+		Equal: heldEqual,
+	})
+	return g, res
+}
+
+// heldBefore replays the block transfer up to (excluding) node index i,
+// yielding the locks held when Nodes[i] begins executing.
+func heldBefore(info *types.Info, res dataflow.Result[heldFact], b *cfg.Block, i int) heldFact {
+	fact := cloneHeld(res.In[b])
+	for j := 0; j < i && j < len(b.Nodes); j++ {
+		applyLockNode(info, b.Nodes[j], fact)
+	}
+	return fact
+}
+
+// lockRecvExpr extracts the receiver expression of a matched lock call
+// ("h.mu" in h.mu.Lock()).
+func lockRecvExpr(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel.X
+}
+
+// lockClass resolves the cross-function identity of a lock expression:
+// "pkgpath.Type.field" for a mutex field of a named struct,
+// "pkgpath.varname" for a package-level mutex. Locks rooted at local
+// variables have no class (they cannot participate in cross-function
+// ordering), reported as ok=false.
+func lockClass(info *types.Info, lockExpr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(lockExpr).(type) {
+	case *ast.SelectorExpr:
+		tv, ok := info.Types[e.X]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		if named, ok := types.Unalias(deref(tv.Type)).(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name, true
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}

@@ -22,6 +22,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one analyzer report.
@@ -92,7 +93,8 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns every analyzer of the suite.
+// All returns every analyzer of the suite: the eight AST-level checks
+// plus the six CFG/dataflow-powered concurrency and invariant checks.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicAlign,
@@ -103,6 +105,12 @@ func All() []*Analyzer {
 		LockCopy,
 		DeferUnlock,
 		ParityGuard,
+		GuardedField,
+		LockOrder,
+		SnapshotMut,
+		CtxFlow,
+		EpochMono,
+		DeferInLoop,
 	}
 }
 
@@ -116,27 +124,52 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// Timing is one analyzer's share of a run, for `rrlint -json`.
+type Timing struct {
+	// Name is the analyzer.
+	Name string
+	// Findings counts its surviving (post-directive) findings.
+	Findings int
+	// Duration is the wall time its passes took.
+	Duration time.Duration
+}
+
 // Run executes the analyzers over the module and returns the surviving
 // findings sorted by position. Findings on a line carrying (or directly
 // below) a matching //lint:ignore directive are dropped; malformed
-// directives are themselves reported.
+// directives, and directives that suppressed nothing (stale ignores),
+// are themselves reported.
 func Run(mod *Module, analyzers []*Analyzer) []Finding {
+	findings, _ := RunTimed(mod, analyzers)
+	return findings
+}
+
+// RunTimed is Run plus per-analyzer wall time and finding counts.
+func RunTimed(mod *Module, analyzers []*Analyzer) ([]Finding, []Timing) {
 	var raw []Finding
-	for _, a := range analyzers {
-		if a.Run == nil {
-			continue
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		start := time.Now()
+		if a.Run != nil {
+			for _, pkg := range mod.Pkgs {
+				a.Run(&Pass{Fset: mod.Fset, Pkg: pkg, analyzer: a, out: &raw})
+			}
 		}
-		for _, pkg := range mod.Pkgs {
-			a.Run(&Pass{Fset: mod.Fset, Pkg: pkg, analyzer: a, out: &raw})
-		}
-	}
-	for _, a := range analyzers {
 		if a.RunModule != nil {
 			a.RunModule(&ModulePass{Fset: mod.Fset, Pkgs: mod.Pkgs, analyzer: a, out: &raw})
 		}
+		timings[i] = Timing{Name: a.Name, Duration: time.Since(start)}
 	}
 	ig, bad := collectIgnores(mod.Fset, mod.Pkgs)
-	return Filter(raw, ig, bad)
+	findings := Filter(raw, ig, bad, activeNames(analyzers))
+	counts := make(map[string]int, len(findings))
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	for i := range timings {
+		timings[i].Findings = counts[timings[i].Name]
+	}
+	return findings, timings
 }
 
 // RunPackage executes per-package analyzers (and module analyzers, over
@@ -153,7 +186,17 @@ func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) []Find
 		}
 	}
 	ig, bad := collectIgnores(fset, []*Package{pkg})
-	return Filter(raw, ig, bad)
+	return Filter(raw, ig, bad, activeNames(analyzers))
+}
+
+// activeNames is the set of analyzer names participating in a run —
+// the scope within which unused directives can be judged.
+func activeNames(analyzers []*Analyzer) map[string]bool {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // ignoreKey identifies one suppressed (file, line, analyzer) slot.
@@ -163,13 +206,21 @@ type ignoreKey struct {
 	analyzer string
 }
 
+// ignoreDirective is one parsed //lint:ignore, tracked so unused
+// directives can be reported as stale.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
 // collectIgnores scans every comment for //lint:ignore directives. A
 // directive suppresses findings of the named analyzer on its own line
 // and on the following line (the comment-above-statement idiom).
 // Directives without an analyzer name or a reason are returned as
 // findings of their own.
-func collectIgnores(fset *token.FileSet, pkgs []*Package) (map[ignoreKey]bool, []Finding) {
-	ignores := make(map[ignoreKey]bool)
+func collectIgnores(fset *token.FileSet, pkgs []*Package) (map[ignoreKey]*ignoreDirective, []Finding) {
+	ignores := make(map[ignoreKey]*ignoreDirective)
 	var bad []Finding
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -190,8 +241,9 @@ func collectIgnores(fset *token.FileSet, pkgs []*Package) (map[ignoreKey]bool, [
 					}
 					pos := fset.Position(c.Pos())
 					for _, name := range strings.Split(fields[0], ",") {
-						ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
-						ignores[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+						d := &ignoreDirective{pos: pos, analyzer: name}
+						ignores[ignoreKey{pos.Filename, pos.Line, name}] = d
+						ignores[ignoreKey{pos.Filename, pos.Line + 1, name}] = d
 					}
 				}
 			}
@@ -201,14 +253,29 @@ func collectIgnores(fset *token.FileSet, pkgs []*Package) (map[ignoreKey]bool, [
 }
 
 // Filter drops findings suppressed by directives, appends the malformed
-// directive reports, and sorts by position.
-func Filter(raw []Finding, ignores map[ignoreKey]bool, bad []Finding) []Finding {
+// directive reports plus a report for every directive that suppressed
+// nothing (within the analyzers actually run), and sorts by position.
+func Filter(raw []Finding, ignores map[ignoreKey]*ignoreDirective, bad []Finding, active map[string]bool) []Finding {
 	out := make([]Finding, 0, len(raw)+len(bad))
 	for _, f := range raw {
-		if ignores[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] {
+		if d := ignores[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}]; d != nil {
+			d.used = true
 			continue
 		}
 		out = append(out, f)
+	}
+	reported := make(map[*ignoreDirective]bool)
+	for _, d := range ignores {
+		if d.used || reported[d] || !active[d.analyzer] {
+			continue
+		}
+		reported[d] = true
+		out = append(out, Finding{
+			Pos:      d.pos,
+			Analyzer: "directive",
+			Message: fmt.Sprintf("unused //lint:ignore %s: no %s finding here — stale directive, delete it",
+				d.analyzer, d.analyzer),
+		})
 	}
 	out = append(out, bad...)
 	sort.Slice(out, func(i, j int) bool {

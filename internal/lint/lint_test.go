@@ -153,6 +153,30 @@ func TestParityGuardFixture(t *testing.T) {
 	checkFixture(t, "parityguard", "repro/internal/lintfixture/parityguard", "parityguard")
 }
 
+func TestGuardedFieldFixture(t *testing.T) {
+	checkFixture(t, "guardedfield", "repro/internal/lintfixture/guardedfield", "guardedfield")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", "repro/internal/lintfixture/lockorder", "lockorder")
+}
+
+func TestSnapshotMutFixture(t *testing.T) {
+	checkFixture(t, "snapshotmut", "repro/internal/lintfixture/snapshotmut", "snapshotmut")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "ctxflow", "repro/internal/lintfixture/ctxflow", "ctxflow")
+}
+
+func TestEpochMonoFixture(t *testing.T) {
+	checkFixture(t, "epochmono", "repro/internal/lintfixture/epochmono", "epochmono")
+}
+
+func TestDeferInLoopFixture(t *testing.T) {
+	checkFixture(t, "deferinloop", "repro/internal/lintfixture/deferinloop", "deferinloop")
+}
+
 // TestDirectives exercises the //lint:ignore machinery end to end: a
 // well-formed directive suppresses its finding, a malformed one (no
 // reason) suppresses nothing and is itself reported.
@@ -163,12 +187,16 @@ func TestDirectives(t *testing.T) {
 		t.Fatalf("CheckDir: %v", err)
 	}
 	got := RunPackage(m.Fset, pkg, []*Analyzer{HotClock})
-	var directives, clocks int
+	var malformed, unused, clocks int
 	for _, f := range got {
 		switch f.Analyzer {
 		case "directive":
-			directives++
-			if !strings.Contains(f.Message, "malformed") {
+			switch {
+			case strings.Contains(f.Message, "malformed"):
+				malformed++
+			case strings.Contains(f.Message, "unused //lint:ignore"):
+				unused++
+			default:
 				t.Errorf("directive finding has unexpected message: %v", f)
 			}
 		case "hotclock":
@@ -177,8 +205,9 @@ func TestDirectives(t *testing.T) {
 			t.Errorf("unexpected analyzer in finding: %v", f)
 		}
 	}
-	if directives != 1 || clocks != 1 {
-		t.Errorf("got %d directive + %d hotclock findings, want 1 + 1:\n%v", directives, clocks, got)
+	if malformed != 1 || unused != 1 || clocks != 1 {
+		t.Errorf("got %d malformed + %d unused + %d hotclock findings, want 1 + 1 + 1:\n%v",
+			malformed, unused, clocks, got)
 	}
 }
 

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockOrder builds the module-wide mutex acquisition-order graph and
+// reports cycles: if one function acquires B while holding A and
+// another acquires A while holding B, the two can deadlock. Locks are
+// identified by class — "pkg.Type.field" for a mutex field,
+// "pkg.varname" for a package-level mutex — so every instance of a
+// struct shares one node. Reacquiring the *same* lock expression is
+// reported directly: recursive Lock, recursive RLock (deadlocks with a
+// pending writer), and the RLock→Lock upgrade. Acquiring a second
+// instance of the same class is also reported — same-class acquisition
+// is deadlock-prone unless globally ordered, which a justified
+// //lint:ignore can document.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "the module-wide lock acquisition order must be acyclic",
+	RunModule: runLockOrder,
+}
+
+// acqEdge is one held→acquired observation.
+type acqEdge struct {
+	from, to string
+}
+
+func runLockOrder(pass *ModulePass) {
+	edgePos := make(map[acqEdge]token.Pos)
+	var edgeOrder []acqEdge
+	for _, pkg := range pass.Pkgs {
+		for _, fb := range packageFuncs(pkg) {
+			lockOrderFunc(pass, pkg, fb, edgePos, &edgeOrder)
+		}
+	}
+
+	// Cycle detection over the class graph: report each strongly
+	// connected component of ≥2 classes once, anchored at its
+	// first-recorded edge.
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for _, e := range edgeOrder {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	for _, scc := range sccOf(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := make(map[string]bool, len(scc))
+		for _, c := range scc {
+			inSCC[c] = true
+		}
+		pos := token.NoPos
+		for _, e := range edgeOrder {
+			if inSCC[e.from] && inSCC[e.to] {
+				pos = edgePos[e]
+				break
+			}
+		}
+		sort.Strings(scc)
+		pass.Reportf(pos,
+			"lock-order cycle: %v are acquired in conflicting orders across the module; a consistent global order is required",
+			scc)
+	}
+}
+
+// lockOrderFunc records the acquisition edges of one function and
+// reports same-expression reacquisitions inline.
+func lockOrderFunc(pass *ModulePass, pkg *Package, fb funcBody,
+	edgePos map[acqEdge]token.Pos, edgeOrder *[]acqEdge) {
+	info := pkg.Info
+
+	// Map each lock expression of this function to its class once.
+	classOf := make(map[string]string)
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are their own funcBody
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, _, _, ok := lockCallExpr(info, call)
+		if !ok {
+			return true
+		}
+		if _, seen := classOf[recv]; !seen {
+			if class, ok := lockClass(info, lockRecvExpr(call)); ok {
+				classOf[recv] = class
+			}
+		}
+		return true
+	})
+
+	var entry heldFact
+	if fb.decl != nil {
+		entry = entryLocks(fb.decl.Doc)
+	}
+	g, res := solveHeld(pkg, fb.body, entry)
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for i, n := range b.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			held := heldBefore(info, res, b, i)
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch call := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					recv, method, _, ok := lockCallExpr(info, call)
+					if !ok || (method != "Lock" && method != "RLock") {
+						return true
+					}
+					for hrecv, hkind := range held {
+						if hrecv == recv {
+							reportReacquire(pass, call.Pos(), recv, method, hkind)
+							continue
+						}
+						from, okF := classOf[hrecv]
+						to, okT := classOf[recv]
+						if !okF || !okT {
+							continue
+						}
+						if from == to {
+							pass.Reportf(call.Pos(),
+								"acquiring %s while holding %s: two locks of class %s with no global order can deadlock",
+								recv, hrecv, to)
+							continue
+						}
+						e := acqEdge{from, to}
+						if _, seen := edgePos[e]; !seen {
+							edgePos[e] = call.Pos()
+							*edgeOrder = append(*edgeOrder, e)
+						}
+					}
+					// The acquisition takes effect for later calls
+					// inside this same node.
+					applyLockNode(info, call, held)
+					return false // already handled nested calls' scan order
+				}
+				return true
+			})
+		}
+	}
+}
+
+func reportReacquire(pass *ModulePass, pos token.Pos, recv, method string, hkind lockKind) {
+	switch {
+	case method == "Lock" && hkind == heldW:
+		pass.Reportf(pos, "recursive %s.Lock(): already held exclusively on every path here", recv)
+	case method == "Lock" && hkind == heldR:
+		pass.Reportf(pos, "%s.RLock() upgraded to Lock(): the writer waits for its own reader — guaranteed deadlock", recv)
+	case method == "RLock" && hkind == heldW:
+		pass.Reportf(pos, "%s.RLock() while holding %s.Lock(): the reader waits for its own writer — guaranteed deadlock", recv, recv)
+	default:
+		pass.Reportf(pos, "recursive %s.RLock(): deadlocks if a writer is queued between the two RLocks", recv)
+	}
+}
+
+// sccOf computes strongly connected components (iterative Tarjan) over
+// a string graph, deterministically.
+func sccOf(nodes map[string]bool, adj map[string][]string) [][]string {
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, outs := range adj {
+		sort.Strings(outs)
+	}
+
+	index := make(map[string]int, len(names))
+	low := make(map[string]int, len(names))
+	onStack := make(map[string]bool, len(names))
+	var stack []string
+	next := 0
+	var sccs [][]string
+
+	type frame struct {
+		v  string
+		si int
+	}
+	for _, root := range names {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{v: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.si == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			outs := adj[v]
+			for f.si < len(outs) {
+				w := outs[f.si]
+				f.si++
+				if _, seen := index[w]; !seen {
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var scc []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return sccs
+}

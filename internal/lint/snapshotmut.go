@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotMut guards the paper's publish-then-freeze discipline: types
+// annotated
+//
+//	//lint:frozen
+//	type Snapshot struct { ... }
+//
+// are immutable published views — once a reader can see one, nothing
+// may be written through it (lock-free readers rely on it). The
+// analyzer flags assignments, ++/-- and element writes whose target
+// chain passes through a frozen-typed value, including writes through
+// local aliases of frozen-rooted data (sp := snap.spatial; sp[i] = ...).
+// Constructors stay exempt through the owned-value rule: a snapshot
+// assigned from a composite literal or new in the same function is
+// still private and may be filled in freely.
+var SnapshotMut = &Analyzer{
+	Name: "snapshotmut",
+	Doc:  "no writes through //lint:frozen published views",
+	Run:  runSnapshotMut,
+}
+
+func runSnapshotMut(pass *Pass) {
+	frozen := frozenTypes(pass.Pkg)
+	if len(frozen) == 0 {
+		return
+	}
+	for _, fb := range packageFuncs(pass.Pkg) {
+		checkSnapshotFunc(pass, frozen, fb)
+	}
+}
+
+func checkSnapshotFunc(pass *Pass, frozen map[*types.Named]bool, fb funcBody) {
+	info := pass.Pkg.Info
+	owned := ownedVars(info, fb.body)
+
+	// tainted holds locals that directly alias frozen-rooted data.
+	// Source order is a sound-enough approximation for the
+	// straight-line aliasing the idiom produces.
+	tainted := make(map[*types.Var]bool)
+	isFrozenExpr := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		named, ok := types.Unalias(deref(tv.Type)).(*types.Named)
+		return ok && frozen[named]
+	}
+	// chainHitsFrozen walks the base chain of e; steps counts the
+	// selector/index/star hops taken before the frozen value was seen
+	// (0 = e itself is the frozen value).
+	chainHitsFrozen := func(e ast.Expr, minSteps int) (ast.Expr, bool) {
+		steps := 0
+		for {
+			e = ast.Unparen(e)
+			if steps >= minSteps {
+				if isFrozenExpr(e) {
+					return e, true
+				}
+				if id, ok := e.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && tainted[v] {
+						return e, true
+					}
+				}
+			}
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return nil, false
+			}
+			steps++
+		}
+	}
+
+	check := func(target ast.Expr, what string) {
+		if rootOwned(info, target, owned) {
+			return
+		}
+		// A plain rebinding (v = other) is fine; only writes that step
+		// *into* frozen data (through a selector/index/star) mutate the
+		// published view.
+		if hit, ok := chainHitsFrozen(target, 1); ok {
+			tv := info.Types[hit]
+			pass.Reportf(target.Pos(),
+				"%s through frozen %s: %s is a published immutable view",
+				what, types.ExprString(hit), types.TypeString(deref(tv.Type), types.RelativeTo(pass.Pkg.Types)))
+		}
+	}
+
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // literals are their own funcBody
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				check(l, "write")
+			}
+			// Track direct aliases: v := snap.spatial (no calls — a
+			// call may already copy).
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if _, ok := chainHitsFrozen(s.Rhs[i], 0); !ok {
+						continue
+					}
+					if hasCall(s.Rhs[i]) {
+						continue
+					}
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						tainted[v] = true
+					} else if v, ok := info.Uses[id].(*types.Var); ok {
+						tainted[v] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			check(s.X, "increment")
+		}
+		return true
+	})
+}
+
+// hasCall reports whether e contains a function call (whose result is
+// a fresh value, not an alias).
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,66 @@
+// Fixture for the ctxflow analyzer: request paths (functions taking a
+// context.Context or *http.Request) must thread the request context
+// through blocking work.
+package ctxflow
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background() in a request path"
+	_ = ctx
+	req, _ := http.NewRequest("GET", "http://example.com", nil) // want "use http.NewRequestWithContext"
+	_ = req
+	resp, _ := http.Get("http://example.com") // want "http.Get in a request path"
+	_ = resp
+	time.Sleep(time.Millisecond) // want "time.Sleep in a request path"
+}
+
+func threaded(ctx context.Context, url string) error {
+	// The request context flows into the outbound call: clean.
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func slogExempt(ctx context.Context, lg *slog.Logger) {
+	// Logging must not fail with the request: a fresh context passed
+	// straight into slog is the accepted idiom.
+	lg.LogAttrs(context.Background(), slog.LevelInfo, "msg")
+}
+
+func todoFlagged(ctx context.Context) {
+	_ = context.TODO() // want "context.TODO() in a request path"
+}
+
+func notInScope() {
+	// No context or request parameter: background work is free to use
+	// its own root context and sleeps.
+	_ = context.Background()
+	time.Sleep(time.Millisecond)
+}
+
+func detachedClosure(ctx context.Context) {
+	go func() {
+		// The literal takes no context: deliberately detached work
+		// (async straggler drains) stays exempt.
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func closureWithCtx(ctx context.Context) {
+	f := func(ctx context.Context) {
+		time.Sleep(time.Millisecond) // want "time.Sleep in a request path"
+	}
+	f(ctx)
+}

@@ -1,0 +1,65 @@
+// Fixture for the deferinloop analyzer: defers on a CFG cycle
+// accumulate one pending call per iteration.
+package deferinloop
+
+import "os"
+
+func leak(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // want "defer inside a loop"
+	}
+	return nil
+}
+
+func hoisted(paths []string) error {
+	for _, p := range paths {
+		if err := func() error {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			// The literal's own graph has no loop: the defer releases
+			// every iteration.
+			defer f.Close()
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func topLevel(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func gotoLoop() {
+	i := 0
+retry:
+	defer println(i) // want "defer inside a loop"
+	i++
+	if i < 3 {
+		goto retry
+	}
+}
+
+func afterLoop(paths []string) error {
+	for _, p := range paths {
+		_ = p
+	}
+	f, err := os.Open("summary")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // after the loop: fine
+	return nil
+}

@@ -15,3 +15,11 @@ func unsuppressed() time.Time {
 	//lint:ignore hotclock
 	return time.Now()
 }
+
+func stale() int {
+	// A well-formed directive that no longer suppresses anything: the
+	// clock read it once covered is gone, so the directive itself must
+	// be reported as unused.
+	//lint:ignore hotclock the clock read here was removed
+	return 42
+}

@@ -1,0 +1,56 @@
+// Fixture for the epochmono analyzer: //lint:monotonic counters only
+// move forward.
+package epochmono
+
+import "sync/atomic"
+
+type idx struct {
+	gen   uint64 //lint:monotonic
+	epoch uint64 //lint:monotonic
+	plain int
+}
+
+func good(x *idx) {
+	x.gen++
+	x.gen += 2
+	x.gen = x.gen + 1
+	x.epoch = 1 + x.epoch
+	x.plain = 0 // unannotated: free
+	x.plain--
+}
+
+func rewrite(x *idx, v uint64) {
+	x.gen = v // want "plain assignment can rewrite it lower"
+}
+
+func decrement(x *idx) {
+	x.gen-- // want "moves it backward"
+}
+
+func subAssign(x *idx) {
+	x.gen -= 1 // want "can move it backward"
+}
+
+func ctor() *idx {
+	x := &idx{}
+	x.gen = 7 // constructor-owned: initialization is free
+	return x
+}
+
+type aidx struct {
+	tick atomic.Uint64 //lint:monotonic
+}
+
+func atomicGood(a *aidx) uint64 {
+	a.tick.Add(1)
+	a.tick.CompareAndSwap(1, 2)
+	return a.tick.Load()
+}
+
+func atomicStore(a *aidx) {
+	a.tick.Store(0) // want "atomic Store can publish an older value"
+}
+
+func atomicSwap(a *aidx) {
+	_ = a.tick.Swap(0) // want "atomic Swap can publish an older value"
+}

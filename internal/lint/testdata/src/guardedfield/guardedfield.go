@@ -1,0 +1,138 @@
+// Fixture for the guardedfield analyzer: fields annotated
+// //lint:guardedby mu must only be accessed under that lock.
+package guardedfield
+
+import "sync"
+
+type box struct {
+	mu   sync.Mutex
+	n    int //lint:guardedby mu
+	cold int // unannotated: free access
+}
+
+func lockedRead(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func lockedWrite(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func bareRead(b *box) int {
+	return b.n // want "read of b.n (guarded by mu) without holding b.mu"
+}
+
+func bareWrite(b *box) {
+	b.n = 7 // want "write to b.n (guarded by mu) without holding b.mu"
+}
+
+func coldIsFree(b *box) int {
+	b.cold = 1 // unannotated stays unchecked
+	return b.cold
+}
+
+func afterUnlock(b *box) int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n + b.n // want "read of b.n (guarded by mu) without holding b.mu"
+}
+
+func branchMerge(b *box, c bool) {
+	// Held on only one path into the join: the must-analysis rejects it.
+	if c {
+		b.mu.Lock()
+	}
+	b.n = 1 // want "write to b.n (guarded by mu) without holding b.mu"
+	if c {
+		b.mu.Unlock()
+	}
+}
+
+func bothBranchesLock(b *box, c bool) {
+	// Held on every path into the join: fine.
+	if c {
+		b.mu.Lock()
+	} else {
+		b.mu.Lock()
+	}
+	b.n = 1
+	b.mu.Unlock()
+}
+
+func constructorOwned() *box {
+	b := &box{}
+	b.n = 42 // still private to this function
+	return b
+}
+
+func literalInit() *box {
+	return &box{n: 42} // composite literal keys are not selectors
+}
+
+//lint:locked b.mu
+func lockedHelper(b *box) {
+	// Callers hold b.mu (annotated above): access is allowed.
+	b.n++
+}
+
+func wrongLock(a, b *box) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.n = 1 // want "write to b.n (guarded by mu) without holding b.mu"
+}
+
+type rwBox struct {
+	mu sync.RWMutex
+	m  map[string]int //lint:guardedby mu
+}
+
+func readLocked(r *rwBox, k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func writeUnderRLock(r *rwBox, k string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.m[k] = 1 // want "holding only r.mu.RLock; writes need r.mu.Lock"
+}
+
+func writeLocked(r *rwBox, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = 1
+}
+
+func addressEscapes(b *box) *int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return &b.n // address-of under Lock is allowed (caller beware)
+}
+
+func addressBare(b *box) *int {
+	return &b.n // want "write to b.n (guarded by mu) without holding b.mu"
+}
+
+func closureIsOwnScope(b *box) func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The literal may run after Unlock (another goroutine): it must
+	// lock for itself.
+	return func() {
+		b.n++ // want "write to b.n (guarded by mu) without holding b.mu"
+	}
+}
+
+func loopLocked(b *box) {
+	for i := 0; i < 3; i++ {
+		b.mu.Lock()
+		b.n += i
+		b.mu.Unlock()
+	}
+}

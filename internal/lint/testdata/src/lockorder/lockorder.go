@@ -1,0 +1,99 @@
+// Fixture for the lockorder analyzer: the module-wide acquisition
+// order must be acyclic, and same-lock reacquisition is reported
+// directly.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// cdOrder1 and cdOrder2 acquire C before D consistently: no findings.
+func cdOrder1(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func cdOrder2(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// abOrder and baOrder conflict: the A.mu/B.mu classes form a cycle,
+// anchored at the first conflicting edge.
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// sequential release-then-acquire creates no ordering edge.
+func sequential(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type R struct{ mu sync.RWMutex }
+
+func upgrade(r *R) {
+	r.mu.RLock()
+	r.mu.Lock() // want "upgraded to Lock"
+	r.mu.Unlock()
+}
+
+func recursiveLock(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "recursive a.mu.Lock"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func recursiveRLock(r *R) {
+	r.mu.RLock()
+	r.mu.RLock() // want "recursive r.mu.RLock"
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+}
+
+func readUnderWrite(r *R) {
+	r.mu.Lock()
+	r.mu.RLock() // want "while holding r.mu.Lock"
+	r.mu.RUnlock()
+	r.mu.Unlock()
+}
+
+func sameClassPair(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock() // want "two locks of class"
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// branchRelease: the lock is released on every path before the next
+// acquisition, so the must-analysis records no edge.
+func branchRelease(a *A, b *B, cond bool) {
+	a.mu.Lock()
+	if cond {
+		a.mu.Unlock()
+	} else {
+		a.mu.Unlock()
+	}
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,74 @@
+// Fixture for the snapshotmut analyzer: no writes through types
+// annotated //lint:frozen once they can be published.
+package snapshotmut
+
+//lint:frozen
+type Snapshot struct {
+	vals []int
+	m    map[string]int
+	gen  int
+}
+
+type wrapper struct {
+	snap *Snapshot
+}
+
+// build constructs a snapshot: owned values may be filled in freely.
+func build() *Snapshot {
+	s := &Snapshot{vals: make([]int, 4)}
+	s.vals[0] = 1
+	s.gen = 7
+	s.m = map[string]int{"k": 1}
+	return s
+}
+
+func mutateField(s *Snapshot) {
+	s.gen = 9 // want "write through frozen s"
+}
+
+func mutateElem(s *Snapshot) {
+	s.vals[0] = 2 // want "write through frozen s"
+}
+
+func mutateMap(s *Snapshot) {
+	s.m["k"] = 1 // want "write through frozen s"
+}
+
+func mutateViaAlias(s *Snapshot) {
+	sp := s.vals
+	sp[1] = 3 // want "write through frozen sp"
+}
+
+func mutateNested(w *wrapper) {
+	w.snap.gen++ // want "increment through frozen w.snap"
+}
+
+func readOnly(s *Snapshot) int {
+	return s.vals[0] + s.m["k"] + s.gen
+}
+
+func rebind(s *Snapshot) {
+	// Rebinding the variable writes the binding, not the view.
+	s = &Snapshot{}
+	_ = s
+}
+
+func copyIsFree(s *Snapshot) []int {
+	// A fresh slice from a call is a copy, not an alias.
+	out := make([]int, len(s.vals))
+	copy(out, s.vals)
+	out[0] = 9
+	return out
+}
+
+func methodRead(s *Snapshot) int {
+	return s.Len()
+}
+
+// Len reads the frozen view: fine.
+func (s *Snapshot) Len() int { return len(s.vals) }
+
+// Grow writes through the receiver of a frozen type.
+func (s *Snapshot) Grow() {
+	s.vals = append(s.vals, 0) // want "write through frozen s"
+}

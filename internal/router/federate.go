@@ -54,7 +54,7 @@ type shardScrape struct {
 // cycle; readers take mu only.
 type federator struct {
 	mu    sync.Mutex
-	stats []shardScrape
+	stats []shardScrape //lint:guardedby mu
 
 	scrapeMu sync.Mutex
 }

@@ -39,18 +39,23 @@ func traceFrom(ctx context.Context) *traceBuilder {
 // are nil-receiver safe so untraced requests thread a nil builder
 // everywhere.
 type traceBuilder struct {
+	id     string // immutable copy of the trace id: readable without mu
 	start  time.Time
 	forced bool // client sent traceparent: always retain
 
-	mu    sync.Mutex
-	tr    *trace.ClusterTrace
-	async bool // the handler owns completion (early-exit stragglers)
+	mu sync.Mutex
+	tr *trace.ClusterTrace //lint:guardedby mu
+	// async flags that the handler owns completion (early-exit
+	// stragglers). Written and read on the handler goroutine only,
+	// before the straggler drain starts, so it needs no lock.
+	async bool
 }
 
 // newTraceBuilder starts collection for one request. traceID is the
 // adopted (client) or minted id.
 func newTraceBuilder(traceID, endpoint string, forced bool, start time.Time) *traceBuilder {
 	return &traceBuilder{
+		id:     traceID,
 		start:  start,
 		forced: forced,
 		tr: &trace.ClusterTrace{
@@ -61,11 +66,14 @@ func newTraceBuilder(traceID, endpoint string, forced bool, start time.Time) *tr
 	}
 }
 
+// traceID returns the request's trace id from the builder's immutable
+// copy — shard goroutines call this mid-flight while others append
+// spans under mu, so it must not read through tb.tr.
 func (tb *traceBuilder) traceID() string {
 	if tb == nil {
 		return ""
 	}
-	return tb.tr.TraceID
+	return tb.id
 }
 
 // span records one completed step. Router-tier steps pass

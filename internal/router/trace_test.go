@@ -472,3 +472,31 @@ func TestClusterFederation(t *testing.T) {
 		t.Fatal("scrape failure not recorded")
 	}
 }
+
+// TestTraceBuilderIDConcurrentWithSpans: traceID is read by shard-call
+// goroutines mid-flight while others append spans under the builder
+// mutex. The id must come from the builder's immutable copy, never
+// through the mutex-guarded trace — run with -race to enforce it.
+func TestTraceBuilderIDConcurrentWithSpans(t *testing.T) {
+	tb := newTraceBuilder("0123456789abcdef0123456789abcdef", "query", true, time.Now())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := tb.traceID(); got != "0123456789abcdef0123456789abcdef" {
+					t.Errorf("traceID = %q mid-flight", got)
+					return
+				}
+				tb.span("shard_call", trace.TierShard, shard, time.Now(), "", nil, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if got := len(tb.tr.Spans); got != 4*200 {
+		t.Fatalf("spans recorded = %d, want %d", got, 4*200)
+	}
+}

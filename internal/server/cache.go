@@ -32,9 +32,9 @@ type queryCache struct {
 
 type cacheShard struct {
 	mu    sync.Mutex
-	m     map[cacheKey]*list.Element
-	order *list.List // front = most recently used
-	cap   int
+	m     map[cacheKey]*list.Element //lint:guardedby mu
+	order *list.List                 //lint:guardedby mu — front = most recently used
+	cap   int                        // immutable after construction
 }
 
 type cacheEntry struct {
