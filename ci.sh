@@ -53,6 +53,15 @@ go test ./...
 echo "== fuzz (seed corpus) =="
 go test -run 'Fuzz' .
 
+# The format-compatibility gate: the committed v1 and v2 golden
+# fixtures under testdata/format must keep loading and answering the
+# pinned queries, save(load(v2)) must stay byte-identical, and the
+# mmap path must survive systematic corruption and serve queries in
+# full parity with the decoder. Regenerate fixtures only on deliberate
+# format changes: go test -run TestFormatCompatGolden -update-format .
+echo "== format compat =="
+go test -run 'TestFormat|TestOpenMapped|TestSaveLoadV2' -count=1 .
+
 if [[ "${1:-}" != "-short" ]]; then
     # The concurrency-sensitive packages: the root package (batch
     # work-stealing, dynamic snapshots, parallel-vs-sequential build
@@ -67,7 +76,7 @@ if [[ "${1:-}" != "-short" ]]; then
     # engine itself (the whole-module driver type-checks packages that
     # the analyzers then walk; the suite's own fixtures run under it).
     echo "== go test -race (concurrency surfaces) =="
-    go test -race . ./internal/pool ./internal/server ./internal/metrics ./internal/core ./internal/planner ./internal/router ./internal/shard ./internal/incr ./internal/lint/...
+    go test -race . ./internal/pool ./internal/server ./internal/metrics ./internal/core ./internal/planner ./internal/router ./internal/shard ./internal/incr ./internal/lint/... ./internal/flatbuf
 
     # The trace hook sits on every query's hot path; run the overhead
     # benchmark under the race detector so the instrumentation itself is
@@ -92,7 +101,11 @@ go run ./cmd/rrbench -exp table3 -scale 0.05 -queries 20 \
 # hard. No python dependency: the old `python3 -c … || grep` fallback
 # silently passed valid-prefix garbage wherever python3 was missing.
 go run ./cmd/rrbench -compare /tmp/rrbench-smoke.json /tmp/rrbench-smoke.json >/dev/null
-grep -q '"schema": "rrbench/v4"' /tmp/rrbench-smoke.json
+grep -q '"schema": "rrbench/v5"' /tmp/rrbench-smoke.json
+# The cold-start section must carry both load modes; the compare call
+# above also enforces the mmap-vs-decode load-time gate over it.
+grep -q '"mode": "mmap"' /tmp/rrbench-smoke.json
+grep -q '"mode": "decode"' /tmp/rrbench-smoke.json
 # The adaptive composite must appear both as a method row and in the
 # region sweep (the planner's acceptance surface).
 grep -q '"method": "Auto"' /tmp/rrbench-smoke.json
@@ -139,7 +152,7 @@ if [[ "${1:-}" != "-short" ]]; then
         -backends "$B1,$B2" -print-placement | while read -r sid backend; do
         port=${backend##*:}
         "$SMOKE_DIR/rrserve" -net "$SMOKE_DIR/smoke.shard$sid.gsn" \
-            -load-index "$SMOKE_DIR/smoke.shard$sid.gsn.idx" \
+            -load-index "$SMOKE_DIR/smoke.shard$sid.gsn.idx" -mmap \
             -addr "127.0.0.1:$port" -shard "$sid" -log off &
         echo $! >> "$SMOKE_DIR/pids"
     done

@@ -19,6 +19,12 @@ type compareReport struct {
 			P50Micros float64 `json:"p50_us"`
 		} `json:"methods"`
 	} `json:"datasets"`
+	ColdStart []struct {
+		Dataset    string  `json:"dataset"`
+		Method     string  `json:"method"`
+		Mode       string  `json:"mode"`
+		LoadMillis float64 `json:"load_ms"`
+	} `json:"cold_start"`
 }
 
 func loadCompareReport(path string) (compareReport, error) {
@@ -96,6 +102,7 @@ func runCompare(baselinePath string, candidatePaths []string, factor, floorUs fl
 				key, cand, baseV, factor, floorUs)
 		}
 	}
+	regressed += coldStartGate(candidatePaths)
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "rrbench: -compare matched no (dataset, method) rows — wrong baseline?")
 		return 2
@@ -106,4 +113,61 @@ func runCompare(baselinePath string, candidatePaths []string, factor, floorUs fl
 	}
 	fmt.Printf("rrbench: no regressions in %d rows (threshold %.1fx, floor %.0fµs)\n", compared, factor, floorUs)
 	return 0
+}
+
+// Cold-start gate thresholds: the mmap open of an index file must not
+// cost more than coldStartFactor× its streaming decode plus the
+// coldStartFloorMs noise floor. The decode path reads and rebuilds
+// every structure while the mmap path only maps the file and validates
+// section headers, so mmap slower than 10× decode (beyond jitter on
+// millisecond-scale smoke files) means the zero-copy path started
+// re-materializing — exactly the regression the format is meant to
+// prevent. The candidate report carries both modes for the same file,
+// so this gate is self-contained and needs no baseline row.
+const (
+	coldStartFactor  = 10.0
+	coldStartFloorMs = 50.0
+)
+
+// coldStartGate checks every candidate's cold_start rows and returns
+// the number of (dataset, method) pairs whose mmap open exceeded the
+// decode-relative threshold in all candidate runs (taking the best
+// mmap and worst decode across runs mirrors the p50 gate's noise
+// filtering). Reports without a cold_start section pass vacuously —
+// pre-v5 baselines and reduced runs must not fail the gate.
+func coldStartGate(candidatePaths []string) int {
+	bestMmap := make(map[string]float64)
+	worstDecode := make(map[string]float64)
+	for _, path := range candidatePaths {
+		cand, err := loadCompareReport(path)
+		if err != nil {
+			continue // already surfaced by the p50 pass
+		}
+		for _, row := range cand.ColdStart {
+			key := row.Dataset + "/" + row.Method
+			switch row.Mode {
+			case "mmap":
+				if prev, ok := bestMmap[key]; !ok || row.LoadMillis < prev {
+					bestMmap[key] = row.LoadMillis
+				}
+			case "decode":
+				if prev, ok := worstDecode[key]; !ok || row.LoadMillis > prev {
+					worstDecode[key] = row.LoadMillis
+				}
+			}
+		}
+	}
+	failed := 0
+	for key, mmapMs := range bestMmap {
+		decodeMs, ok := worstDecode[key]
+		if !ok {
+			continue
+		}
+		if limit := decodeMs*coldStartFactor + coldStartFloorMs; mmapMs > limit {
+			failed++
+			fmt.Fprintf(os.Stderr, "COLD-START REGRESSION %s: mmap open %.2fms vs decode load %.2fms (limit %.2fms)\n",
+				key, mmapMs, decodeMs, limit)
+		}
+	}
+	return failed
 }

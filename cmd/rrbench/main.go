@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, table3, table4, table5, table6, fig5, fig6, fig7, ablation-forest, ablation-compression, ablation-socreach, ablation-spareach, ablation-3d, ablation-streaming, latency, negative, update-churn")
+		exp      = flag.String("exp", "all", "experiment to run: all, table3, table4, table5, table6, fig5, fig6, fig7, ablation-forest, ablation-compression, ablation-socreach, ablation-spareach, ablation-3d, ablation-streaming, latency, negative, update-churn, cold-start")
 		scale    = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 1% of the paper's sizes)")
 		queries  = flag.Int("queries", 200, "queries averaged per data point (paper: 1000)")
 		seed     = flag.Int64("seed", 1, "random seed for datasets and workloads")
@@ -80,7 +80,7 @@ func main() {
 	known := map[string]bool{
 		"all": true, "table3": true, "table4": true, "table5": true,
 		"table6": true, "fig5": true, "fig6": true, "fig7": true,
-		"ablation-forest": true, "ablation-compression": true, "ablation-socreach": true, "ablation-spareach": true, "ablation-3d": true, "latency": true, "negative": true, "ablation-streaming": true, "update-churn": true,
+		"ablation-forest": true, "ablation-compression": true, "ablation-socreach": true, "ablation-spareach": true, "ablation-3d": true, "latency": true, "negative": true, "ablation-streaming": true, "update-churn": true, "cold-start": true,
 	}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "rrbench: unknown experiment %q\n", *exp)
@@ -106,6 +106,7 @@ func main() {
 	run("latency", func() { s.LatencyProfile() })
 	run("negative", func() { s.NegativeProfile() })
 	run("update-churn", func() { s.UpdateChurn() })
+	run("cold-start", func() { s.ColdStart() })
 	if *exp == "all" {
 		s.PositiveRates()
 	}

@@ -55,6 +55,7 @@ func main() {
 		explain = flag.Bool("explain", false, "print each query's execution profile")
 		saveIdx = flag.String("save-index", "", "after building, persist the index to this file")
 		loadIdx = flag.String("load-index", "", "load a persisted index instead of building (-method is ignored)")
+		mmapIdx = flag.Bool("mmap", false, "open -load-index by zero-copy mmap instead of decoding (v2 index files only)")
 		target  = flag.String("target", "", "query a running rrserve/rrrouter at this base URL instead of building locally")
 		doTrace = flag.Bool("trace", false, "with -target: send a traceparent and print the stitched cluster trace")
 	)
@@ -87,16 +88,24 @@ func main() {
 	if *mbr {
 		opts = append(opts, rangereach.WithMBRPolicy())
 	}
+	if *mmapIdx && *loadIdx == "" {
+		fmt.Fprintln(os.Stderr, "rrquery: -mmap requires -load-index")
+		os.Exit(2)
+	}
 	var idx *rangereach.Index
-	if *loadIdx != "" {
+	switch {
+	case *loadIdx != "" && *mmapIdx:
+		idx, err = net.OpenMapped(*loadIdx)
+	case *loadIdx != "":
 		idx, err = net.LoadIndexFile(*loadIdx)
-	} else {
+	default:
 		idx, err = net.Build(m, opts...)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)
 		os.Exit(1)
 	}
+	defer idx.Close()
 	if *saveIdx != "" {
 		if err := idx.SaveFile(*saveIdx); err != nil {
 			fmt.Fprintf(os.Stderr, "rrquery: %v\n", err)

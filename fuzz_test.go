@@ -42,16 +42,26 @@ func FuzzPersistRoundtrip(f *testing.F) {
 		rangereach.SocReach, rangereach.SpaReachBFL, rangereach.SpaReachINT,
 		rangereach.GeoReach, rangereach.MethodAuto,
 	} {
+		idx := net.MustBuild(m)
 		var buf bytes.Buffer
-		if err := net.MustBuild(m).Save(&buf); err != nil {
+		if err := idx.Save(&buf); err != nil {
 			f.Fatalf("%v: %v", m, err)
 		}
 		f.Add(buf.Bytes())
 		f.Add(buf.Bytes()[:len(buf.Bytes())/2])
 		f.Add(buf.Bytes()[:9])
+		// The v1 stream format stays loadable; seed it so both decoders
+		// see corpus mutations.
+		var v1 bytes.Buffer
+		if err := idx.SaveV1(&v1); err != nil {
+			f.Fatalf("%v: %v", m, err)
+		}
+		f.Add(v1.Bytes())
+		f.Add(v1.Bytes()[:len(v1.Bytes())/2])
 	}
 	f.Add([]byte(nil))
 	f.Add([]byte("RRIX"))
+	f.Add([]byte("RRX2"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		idx, err := net.LoadIndex(bytes.NewReader(data))

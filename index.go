@@ -2,6 +2,7 @@ package rangereach
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -146,7 +147,36 @@ type Index struct {
 	method Method
 	engine core.Engine
 	stats  IndexStats
+
+	// mapping owns the memory map of an index opened with OpenMapped;
+	// nil for built or stream-loaded indexes. See Index.Close.
+	mapping io.Closer
+	mapped  bool
+	mappedB int64
 }
+
+// Close releases the memory map of an index opened with
+// Network.OpenMapped. The index must not be queried afterwards — its
+// structures overlay the mapped pages. Close is a no-op (and returns
+// nil) for built or stream-loaded indexes, so deferring it
+// unconditionally is safe.
+func (idx *Index) Close() error {
+	if idx.mapping == nil {
+		return nil
+	}
+	m := idx.mapping
+	idx.mapping = nil
+	return m.Close()
+}
+
+// Mapped reports whether the index's structures overlay a live memory
+// map (true only for OpenMapped indexes on platforms with mmap; the
+// portable fallback reads into memory and reports false).
+func (idx *Index) Mapped() bool { return idx.mapped }
+
+// MappedBytes returns the image size of an OpenMapped index, 0
+// otherwise.
+func (idx *Index) MappedBytes() int64 { return idx.mappedB }
 
 // BuildPhase attributes part of an index build to one named pipeline
 // phase ("labeling", "spatial", "reach", …).

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ColdStartRow is one cold-start measurement: the time to bring a
+// persisted index back to a queryable state on one dataset×method, by
+// one of the two load paths. mode "decode" is the streaming LoadIndex
+// path (reads and copies every structure); mode "mmap" is OpenMapped
+// (overlays the index over the mapped file, O(1) allocations). Both
+// rows of a pair load the same file, so file_bytes matches and the
+// load_ms gap is the decode cost the mmap path skips.
+type ColdStartRow struct {
+	Dataset     string  `json:"dataset"`
+	Method      string  `json:"method"`
+	Mode        string  `json:"mode"`
+	LoadMillis  float64 `json:"load_ms"`
+	MappedBytes int64   `json:"mapped_bytes,omitempty"`
+	FileBytes   int64   `json:"file_bytes"`
+}
+
+// coldStartReps is the best-of repetition count per load path: the
+// first mmap open after a save can pay one-off page-cache and metadata
+// costs that a warm server restart would not, and best-of filters them
+// the same way the sweep timings filter scheduler noise.
+const coldStartReps = 3
+
+// ColdStart saves every persistable engine to a scratch file and times
+// both load paths over it. Results are cached on the suite so a -json
+// report emitted afterwards carries them without re-measuring.
+func (s *Suite) ColdStart() []ColdStartRow {
+	if s.cold != nil {
+		return s.cold
+	}
+	dir, err := os.MkdirTemp("", "rrbench-coldstart-*")
+	if err != nil {
+		s.printf("cold-start: %v (skipping)\n", err)
+		return nil
+	}
+	defer os.RemoveAll(dir)
+
+	s.printf("\n== Cold start: decode load vs mmap ==\n")
+	rows := make([]ColdStartRow, 0, len(s.nets)*len(core.AllMethods)*2)
+	for ds := range s.nets {
+		for _, m := range core.AllMethods {
+			res := s.engine(ds, m, dataset.Replicate)
+			path := filepath.Join(dir, "idx")
+			if err := saveEngineFile(path, res.Engine); err != nil {
+				if errors.Is(err, core.ErrNotPersistable) {
+					continue
+				}
+				s.printf("cold-start: save %s/%v: %v (skipping)\n", s.nets[ds].Name, m, err)
+				continue
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				s.printf("cold-start: %v (skipping)\n", err)
+				continue
+			}
+			decode, err := timeDecodeLoad(path, s.preps[ds])
+			if err != nil {
+				s.printf("cold-start: decode %s/%v: %v (skipping)\n", s.nets[ds].Name, m, err)
+				continue
+			}
+			mmapD, mappedBytes, err := timeMappedLoad(path, s.preps[ds])
+			if err != nil {
+				s.printf("cold-start: mmap %s/%v: %v (skipping)\n", s.nets[ds].Name, m, err)
+				continue
+			}
+			rows = append(rows,
+				ColdStartRow{
+					Dataset: s.nets[ds].Name, Method: m.String(), Mode: "decode",
+					LoadMillis: millis(decode), FileBytes: st.Size(),
+				},
+				ColdStartRow{
+					Dataset: s.nets[ds].Name, Method: m.String(), Mode: "mmap",
+					LoadMillis: millis(mmapD), MappedBytes: mappedBytes, FileBytes: st.Size(),
+				},
+			)
+			s.printf("  %-16s %-14s %8s file  decode %8s  mmap %8s\n",
+				s.nets[ds].Name, m.String(), fmtBytes(st.Size()), fmtDuration(decode), fmtDuration(mmapD))
+		}
+	}
+	s.cold = rows
+	return rows
+}
+
+func millis(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// saveEngineFile persists an engine the way Index.SaveFile does, minus
+// the durability fsyncs a scratch measurement does not need.
+func saveEngineFile(path string, e core.Engine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveEngine(f, e); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// timeDecodeLoad measures the streaming-decode load path, best of
+// coldStartReps.
+func timeDecodeLoad(path string, prep *dataset.Prepared) (time.Duration, error) {
+	var best time.Duration
+	for rep := 0; rep < coldStartReps; rep++ {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		_, err = core.LoadEngine(f, prep, core.BuildOptions{})
+		d := time.Since(start)
+		_ = f.Close()
+		if err != nil {
+			return 0, err
+		}
+		if rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// timeMappedLoad measures the zero-copy mmap load path, best of
+// coldStartReps.
+func timeMappedLoad(path string, prep *dataset.Prepared) (time.Duration, int64, error) {
+	var best time.Duration
+	var mapped int64
+	for rep := 0; rep < coldStartReps; rep++ {
+		start := time.Now()
+		res, closer, err := core.OpenMappedEngine(path, prep, core.BuildOptions{})
+		d := time.Since(start)
+		if err != nil {
+			return 0, 0, err
+		}
+		mapped = res.MappedBytes
+		_ = closer.Close()
+		if rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, mapped, nil
+}

@@ -26,14 +26,18 @@ type PerfReport struct {
 	// UpdateChurn carries the dynamic-maintenance experiment when the
 	// update-churn experiment ran before the report was emitted.
 	UpdateChurn []ChurnReport `json:"update_churn,omitempty"`
+	// ColdStart carries the persisted-index load timings: per
+	// dataset×method, the streaming-decode load next to the zero-copy
+	// mmap open of the same file.
+	ColdStart []ColdStartRow `json:"cold_start,omitempty"`
 }
 
 // PerfSchema identifies the current PerfReport layout. v2 added the
 // Auto composite to the method rows and the region_sweep section; v3
 // added the build parallelism and the per-phase build breakdown; v4
-// added the update_churn section (all additive — v2 readers parse v4
-// reports).
-const PerfSchema = "rrbench/v4"
+// added the update_churn section; v5 added the cold_start section
+// (all additive — v2 readers parse v5 reports).
+const PerfSchema = "rrbench/v5"
 
 // DatasetReport is one dataset's slice of the report.
 type DatasetReport struct {
@@ -137,6 +141,7 @@ func (s *Suite) PerfReport() PerfReport {
 		report.Datasets = append(report.Datasets, dr)
 	}
 	report.UpdateChurn = s.churn
+	report.ColdStart = s.ColdStart()
 	return report
 }
 

@@ -59,6 +59,8 @@ type Suite struct {
 	// churn holds UpdateChurn's results when that experiment ran, so a
 	// -json report emitted afterwards carries them.
 	churn []ChurnReport
+	// cold caches ColdStart's measurements (nil until it runs).
+	cold []ColdStartRow
 }
 
 type engineKey struct {

@@ -165,6 +165,12 @@ type BuildResult struct {
 	// Phases attributes the build wall-clock to named pipeline phases
 	// ("labeling", "spatial", "reach", …), sorted by name.
 	Phases []trace.BuildPhase
+	// Mapped and MappedBytes describe the backing of an engine opened
+	// with OpenMappedEngine: whether its columns overlay a live memory
+	// map (vs an aligned in-memory copy on mmap-less platforms) and the
+	// image size. Both are zero for built or stream-loaded engines.
+	Mapped      bool
+	MappedBytes int64
 }
 
 // BuildMethod constructs the engine for a method, timing the build. It

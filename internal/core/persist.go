@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/bfl"
 	"repro/internal/dataset"
+	"repro/internal/flatbuf"
 	"repro/internal/georeach"
 	"repro/internal/labeling"
 )
@@ -33,10 +35,22 @@ const engineVersion = 1
 // ErrNotPersistable reports an engine type without a save format.
 var ErrNotPersistable = fmt.Errorf("core: engine is not persistable")
 
-// SaveEngine writes e to w. Supported: ThreeDReach, ThreeDReachRev,
-// SocReach, SpaReach-BFL, SpaReach-INT, GeoReach and Auto composites of
-// those; others return ErrNotPersistable.
+// SaveEngine writes e to w in the current (v2 flat) format. Supported:
+// ThreeDReach, ThreeDReachRev, SocReach, SpaReach-BFL, SpaReach-INT,
+// GeoReach and Auto composites of those; others return
+// ErrNotPersistable. On a big-endian host — which cannot emit the
+// little-endian flat image — it falls back to the v1 stream, which both
+// loaders accept everywhere.
 func SaveEngine(w io.Writer, e Engine) error {
+	if !flatbuf.LittleEndian() {
+		return SaveEngineV1(w, e)
+	}
+	return saveEngineV2(w, e)
+}
+
+// SaveEngineV1 writes e in the legacy streaming format, kept for
+// compatibility fixtures and big-endian hosts. LoadEngine reads both.
+func SaveEngineV1(w io.Writer, e Engine) error {
 	bw := bufio.NewWriter(w)
 	if err := saveEngineTo(bw, e); err != nil {
 		return err
@@ -119,14 +133,27 @@ func saveEngineTo(bw *bufio.Writer, e Engine) error {
 	return nil
 }
 
-// LoadEngine reads an engine written by SaveEngine and attaches it to
-// prep, which must describe the same network the engine was built over.
-// The options supply the spatial-side knobs (fan-out, backend); the
-// persisted reachability state is used as-is.
+// LoadEngine reads an engine written by SaveEngine — either format,
+// sniffed from the magic — and attaches it to prep, which must describe
+// the same network the engine was built over. The options supply the
+// spatial-side knobs (fan-out, backend); the persisted reachability
+// state is used as-is. v2 images decode into one aligned buffer and
+// overlay typed columns on it; see OpenMappedEngine for the zero-copy
+// path.
 func LoadEngine(r io.Reader, prep *dataset.Prepared, opts BuildOptions) (BuildResult, error) {
 	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && bytes.Equal(head, flatbufMagic()) {
+		img, err := flatbuf.ReadImage(br)
+		if err != nil {
+			return BuildResult{}, err
+		}
+		return loadEngineV2(img, prep, opts)
+	}
 	return loadEngineFrom(br, prep, opts)
 }
+
+func flatbufMagic() []byte { return flatbuf.Magic[:] }
 
 // loadEngineFrom reads one tagged engine section from br. Composite
 // sections recurse over the same reader, so nested members consume

@@ -1,0 +1,35 @@
+package flatbuf
+
+// Mapping is a read-only view of an image file: an mmap on unix hosts,
+// an aligned in-memory copy elsewhere (see MapFile in the per-platform
+// files). It implements io.Closer.
+type Mapping struct {
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// Data returns the mapped bytes. After Close the slice must not be
+// touched — on a real mmap the pages are gone.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Size returns the mapping length in bytes.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+
+// Mapped reports whether the bytes are a true memory map rather than a
+// heap copy.
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. It is idempotent.
+func (m *Mapping) Close() error {
+	if m.closed || m.data == nil {
+		return nil
+	}
+	m.closed = true
+	var err error
+	if m.mapped {
+		err = m.release()
+	}
+	m.data = nil
+	return err
+}

@@ -1,0 +1,26 @@
+//go:build !unix
+
+package flatbuf
+
+import (
+	"fmt"
+	"os"
+)
+
+// MapFile on platforms without a usable mmap falls back to reading the
+// whole file into an aligned buffer. The Mapping API is identical;
+// Mapped() reports false so callers can surface the degradation.
+func MapFile(path string) (*Mapping, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("flatbuf: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("flatbuf: %w: %s is empty", ErrFormat, path)
+	}
+	data := AlignedBytes(len(raw))
+	copy(data, raw)
+	return &Mapping{data: data, mapped: false}, nil
+}
+
+func (m *Mapping) release() error { return nil }

@@ -1,0 +1,41 @@
+//go:build unix
+
+package flatbuf
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapFile maps the named file read-only and returns the mapping. The
+// returned bytes are served straight from page cache: opening a
+// multi-gigabyte index touches no pages until queries do. Close
+// releases the mapping; every slice overlaid on it dies with it.
+func MapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flatbuf: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("flatbuf: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("flatbuf: %w: %s is empty", ErrFormat, path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("flatbuf: %s: %d bytes exceed the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("flatbuf: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func (m *Mapping) release() error {
+	return syscall.Munmap(m.data)
+}

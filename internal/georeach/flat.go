@@ -1,0 +1,128 @@
+package georeach
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Flat-format codec: the SPA-Graph as four structure-of-arrays columns.
+//
+//	flags    [2n]u8          — per vertex {kind, geoB}, interleaved
+//	rmbr     [4n]f64         — per vertex MinX, MinY, MaxX, MaxY
+//	gridOff  [n+1]u64        — G-vertex v's keys are gridKeys[off[v]:off[v+1]]
+//	gridKeys [Σ]u64          — sorted cell keys, concatenated by vertex
+//
+// Keys are sorted per vertex so the columns are canonical (identical
+// SPA-Graphs serialize to identical bytes). Unlike the other engines
+// the query structure itself is a hash set per G-vertex, so FromFlat
+// rehydrates grid.CellSet maps — the one documented exception to the
+// O(1)-allocation mapped load (see DESIGN.md §17).
+
+// FlatColumns returns the SPA-Graph as flat columns. gridOff has
+// NumVertices()+1 entries; non-G vertices have empty key runs.
+func (idx *Index) FlatColumns() (flags []uint8, rmbr []float64, gridOff []uint64, gridKeys []uint64) {
+	n := len(idx.kind)
+	flags = make([]uint8, 0, 2*n)
+	rmbr = make([]float64, 0, 4*n)
+	gridOff = make([]uint64, n+1)
+	for v := 0; v < n; v++ {
+		geoB := uint8(0)
+		if idx.geoB[v] {
+			geoB = 1
+		}
+		flags = append(flags, uint8(idx.kind[v]), geoB)
+		r := idx.rmbr[v]
+		rmbr = append(rmbr, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+		gridOff[v] = uint64(len(gridKeys))
+		if idx.kind[v] != GVertex {
+			continue
+		}
+		cells := idx.grids[v]
+		start := len(gridKeys)
+		for key := range cells {
+			gridKeys = append(gridKeys, key)
+		}
+		slices.Sort(gridKeys[start:])
+	}
+	gridOff[n] = uint64(len(gridKeys))
+	return flags, rmbr, gridOff, gridKeys
+}
+
+// FlatMeta carries the SPA-Graph's scalar shape through a manifest.
+type FlatMeta struct {
+	Levels int
+	Space  geom.Rect
+}
+
+// FlatMeta returns the manifest scalars of idx.
+func (idx *Index) FlatMeta() FlatMeta {
+	return FlatMeta{Levels: idx.h.Levels(), Space: idx.h.Space()}
+}
+
+// FromFlat assembles a SPA-Graph from persisted flat columns and
+// attaches it to prep, applying the same validation as Read: vertex
+// count against the network, plausible level count, kinds within range,
+// offsets tiling the key array. Cell sets are rebuilt as maps.
+func FromFlat(prep *dataset.Prepared, meta FlatMeta, flags []uint8, rmbr []float64, gridOff []uint64, gridKeys []uint64) (*Index, error) {
+	n := prep.NumComponents()
+	if len(flags) != 2*n {
+		return nil, fmt.Errorf("georeach: %d flag bytes for %d components", len(flags), n)
+	}
+	if len(rmbr) != 4*n {
+		return nil, fmt.Errorf("georeach: %d rmbr values for %d components", len(rmbr), n)
+	}
+	if len(gridOff) != n+1 {
+		return nil, fmt.Errorf("georeach: %d grid offsets for %d components", len(gridOff), n)
+	}
+	if meta.Levels < 1 || meta.Levels > 20 {
+		return nil, fmt.Errorf("georeach: implausible level count %d", meta.Levels)
+	}
+	if n > 0 && gridOff[0] != 0 {
+		return nil, fmt.Errorf("georeach: grid offsets start at %d, not 0", gridOff[0])
+	}
+	if gridOff[n] != uint64(len(gridKeys)) {
+		return nil, fmt.Errorf("georeach: grid offsets end at %d, keys hold %d", gridOff[n], len(gridKeys))
+	}
+	idx := &Index{
+		prep:  prep,
+		h:     grid.NewHierarchy(meta.Space, meta.Levels),
+		kind:  make([]Kind, n),
+		geoB:  make([]bool, n),
+		rmbr:  make([]geom.Rect, n),
+		grids: make([]grid.CellSet, n),
+	}
+	for v := 0; v < n; v++ {
+		if flags[2*v] > uint8(BVertex) {
+			return nil, fmt.Errorf("georeach: corrupt kind %d", flags[2*v])
+		}
+		idx.kind[v] = Kind(flags[2*v])
+		idx.geoB[v] = flags[2*v+1] != 0
+		idx.rmbr[v] = geom.Rect{
+			Min: geom.Pt(rmbr[4*v], rmbr[4*v+1]),
+			Max: geom.Pt(rmbr[4*v+2], rmbr[4*v+3]),
+		}
+		lo, hi := gridOff[v], gridOff[v+1]
+		if lo > hi || hi > uint64(len(gridKeys)) {
+			return nil, fmt.Errorf("georeach: grid offsets not monotonic at vertex %d", v)
+		}
+		if hi-lo > 1<<24 {
+			return nil, fmt.Errorf("georeach: implausible grid size %d", hi-lo)
+		}
+		if idx.kind[v] != GVertex {
+			if lo != hi {
+				return nil, fmt.Errorf("georeach: non-G vertex %d has %d grid keys", v, hi-lo)
+			}
+			continue
+		}
+		cells := make(grid.CellSet, hi-lo)
+		for _, key := range gridKeys[lo:hi] {
+			cells[key] = struct{}{}
+		}
+		idx.grids[v] = cells
+	}
+	return idx, nil
+}

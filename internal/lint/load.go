@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -196,6 +198,9 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
+		if !matchesHostConstraints(name, filepath.Join(dir, name)) {
+			continue
+		}
 		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
@@ -222,6 +227,87 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 		pkg.Path = m.Path + "/" + filepath.ToSlash(rel)
 	}
 	return pkg, nil
+}
+
+// unixGOOS mirrors the go tool's "unix" build tag: the GOOS values it
+// stands for.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// matchesHostConstraints reports whether a file builds on the host
+// platform, honoring both //go:build lines and _GOOS/_GOARCH filename
+// suffixes the way the go tool does. Files excluded on this platform
+// (e.g. the non-unix mmap fallback) would redeclare symbols if parsed
+// alongside their counterparts, so the loader must skip them exactly
+// like the compiler does.
+func matchesHostConstraints(name, path string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	if i := strings.LastIndex(base, "_"); i >= 0 {
+		// Only the go tool's known GOOS/GOARCH names act as implicit
+		// filename constraints; check the final one or two suffixes.
+		parts := strings.Split(base, "_")
+		last := parts[len(parts)-1]
+		if knownArch[last] {
+			if last != runtime.GOARCH {
+				return false
+			}
+			if len(parts) >= 3 && knownOS[parts[len(parts)-2]] && parts[len(parts)-2] != runtime.GOOS {
+				return false
+			}
+		} else if knownOS[last] && last != runtime.GOOS {
+			return false
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return true // let the parser report the real error
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(hostTag)
+		}
+		// Build constraints must precede the package clause.
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+	}
+	return true
+}
+
+// hostTag evaluates one build tag for the host platform.
+func hostTag(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixGOOS[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1."):
+		return true // the module's minimum Go always satisfies these
+	}
+	return false
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"js": true, "linux": true, "nacl": true, "netbsd": true,
+	"openbsd": true, "plan9": true, "solaris": true, "wasip1": true,
+	"windows": true, "zos": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
 }
 
 // moduleImports lists the module-internal import paths of pkg.

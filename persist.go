@@ -15,11 +15,22 @@ import (
 // dominates build time. The rest rebuild quickly from the network.
 var ErrNotPersistable = core.ErrNotPersistable
 
-// Save writes the index's reachability state to w. Reload it with
-// Network.LoadIndex over the same network; spatial structures are
-// rebuilt on load by bulk loading, which is cheap.
+// Save writes the index's state to w in the current v2 flat format: a
+// single relocatable image whose sections are the index's
+// structure-of-arrays columns at 64-byte-aligned offsets, loadable by
+// streaming decode (LoadIndex) or zero-copy mmap (OpenMapped). Reload
+// over the same network. Saving an OpenMapped index re-emits the
+// mapped columns themselves, so save(load(file)) reproduces the file
+// byte for byte.
 func (idx *Index) Save(w io.Writer) error {
 	return core.SaveEngine(w, idx.engine)
+}
+
+// SaveV1 writes the index in the legacy v1 streaming format, which
+// LoadIndex still reads but OpenMapped cannot. It exists for
+// compatibility fixtures and for interchange with older readers.
+func (idx *Index) SaveV1(w io.Writer) error {
+	return core.SaveEngineV1(w, idx.engine)
 }
 
 // SaveFile writes the index to the named file atomically and durably:
@@ -108,6 +119,43 @@ func (n *Network) LoadIndexFile(path string, options ...Option) (*Index, error) 
 	}
 	defer f.Close()
 	return n.LoadIndex(f, options...)
+}
+
+// OpenMapped memory-maps a v2 index file and assembles the index
+// directly over the mapped pages: no decode pass, no per-structure
+// copies, O(1) allocations regardless of index size. Cold start is
+// near-instant — the OS pages in only what queries touch. Call
+// Index.Close when done; the index must not be used afterwards. v1
+// files cannot be mapped (re-save them to upgrade); use LoadIndexFile
+// for those.
+//
+// Unlike LoadIndex, OpenMapped skips the deep structural validation
+// pass — walking every label and tree node would fault in the whole
+// image, defeating the point of mapping. The load still verifies
+// everything needed for memory safety (section bounds and alignment,
+// offset tiling, post-order bijection, fan-out and balance, entry-id
+// ranges), so a corrupt file surfaces as a load error or a wrong
+// answer, never a panic. Run Index.Validate explicitly (e.g. rrserve
+// -check) to get the full pass at the cost of paging everything in.
+func (n *Network) OpenMapped(path string, options ...Option) (*Index, error) {
+	var cfg buildConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	res, closer, err := core.OpenMappedEngine(path, n.prep, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	m := methodFromCore(res.Method)
+	return &Index{
+		net:     n,
+		method:  m,
+		engine:  res.Engine,
+		stats:   IndexStats{Method: m, Bytes: res.Bytes},
+		mapping: closer,
+		mapped:  res.Mapped,
+		mappedB: res.MappedBytes,
+	}, nil
 }
 
 // methodFromCore maps internal method ids back to public ones.
